@@ -1,0 +1,287 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+// for the paper-vs-measured comparison), plus the ablations and
+// micro-benchmarks of the core machinery.
+//
+// The table/figure benches run their experiment driver end to end with a
+// scaled budget, so their reported time is the cost of reproducing the
+// artifact, not of a single operation. Run them with:
+//
+//	go test -bench=. -benchmem
+package maimon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/ci"
+	"repro/internal/cnttid"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/decompose"
+	"repro/internal/entropy"
+	"repro/internal/experiments"
+	"repro/internal/fd"
+	"repro/internal/info"
+	"repro/internal/pli"
+	"repro/internal/schema"
+)
+
+// benchCfg keeps figure benches bounded: small analogs, tight per-phase
+// budgets, a short ε sweep.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Scale:    500,
+		Budget:   200 * time.Millisecond,
+		Epsilons: []float64{0, 0.1, 0.3},
+	}
+}
+
+func BenchmarkTable2_FullMVDMining(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table2(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig10_NurseryPareto(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Budget = time.Second
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig10Nursery(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig11_NurseryAllSchemes(b *testing.B) {
+	// Fig. 11 is the scatter over all schemes; the driver shared with
+	// Fig. 10 produces both. Benchmarked separately at a wider sweep so
+	// the scheme-collection cost dominates.
+	cfg := benchCfg()
+	cfg.Budget = 500 * time.Millisecond
+	cfg.Epsilons = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig10Nursery(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig12_SpuriousVsJ(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig12SpuriousVsJ(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig13_RowScalability(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Budget = 100 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig13Rows(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig14_ColScalability(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Budget = 100 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig14Cols(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig15_Quality(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Budget = 100 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig15Quality(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig18_FullMVDs(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Budget = 100 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig18FullMVDs(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkAblation_PairwiseConsistency(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if out := experiments.AblationPairwiseConsistency(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkAblation_EntropyEngine(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if out := experiments.AblationEntropyEngine(cfg); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// --- micro-benchmarks of the core machinery -----------------------------
+
+func benchNursery(b *testing.B) *Relation {
+	b.Helper()
+	return datagen.Nursery()
+}
+
+func BenchmarkMicro_EntropySingleSet(b *testing.B) {
+	r := benchNursery(b)
+	attrs := bitset.Of(0, 2, 4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := entropy.New(r) // cold oracle: measures the real PLI work
+		_ = o.H(attrs)
+	}
+}
+
+func BenchmarkMicro_EntropyCached(b *testing.B) {
+	r := benchNursery(b)
+	o := entropy.New(r)
+	attrs := bitset.Of(0, 2, 4, 6)
+	o.H(attrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.H(attrs)
+	}
+}
+
+func BenchmarkMicro_PLIIntersect(b *testing.B) {
+	r := benchNursery(b)
+	pa := pli.SingleAttribute(r, 0)
+	pb := pli.SingleAttribute(r, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pli.Intersect(pa, pb)
+	}
+}
+
+func BenchmarkMicro_MineMinSepsPair(b *testing.B) {
+	r := benchNursery(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(entropy.New(r), core.DefaultOptions(0.1))
+		_ = m.MineMinSeps(0, 8)
+	}
+}
+
+func BenchmarkMicro_GetFullMVDs(b *testing.B) {
+	r := benchNursery(b)
+	key := bitset.Of(1, 7) // has_nurs + health
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(entropy.New(r), core.DefaultOptions(0.3))
+		_ = m.GetFullMVDs(key, 0, 8, 0)
+	}
+}
+
+func BenchmarkMicro_JoinSizeCount(b *testing.B) {
+	r := benchNursery(b)
+	s, err := schema.New([]bitset.AttrSet{
+		bitset.Of(0, 1, 2, 3, 7, 8),
+		bitset.Of(3, 4, 5, 6, 7, 8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decompose.Analyze(r, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_JMeasure(b *testing.B) {
+	r := benchNursery(b)
+	o := entropy.New(r)
+	phi, err := ParseMVD("AB->CD|EFGHI")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = info.JMVD(o, phi)
+	}
+}
+
+func BenchmarkMicro_FDMining(b *testing.B) {
+	r := datagen.FunctionalChain(2000, 6, 5, 0.05, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fd.NewMiner(r, fd.Options{Epsilon: 0.01}).Mine()
+	}
+}
+
+func BenchmarkMicro_CNTTIDEntropy(b *testing.B) {
+	r := benchNursery(b)
+	attrs := bitset.Of(0, 2, 4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := cnttid.New(r) // cold engine, same protocol as the PLI bench
+		_ = e.H(attrs)
+	}
+}
+
+func BenchmarkMicro_CIExpansion(b *testing.B) {
+	r := benchNursery(b)
+	m := core.NewMiner(entropy.New(r), core.DefaultOptions(0.3))
+	res := m.MineMVDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ci.MinedToCI(res.MVDs)
+	}
+}
+
+func BenchmarkMicro_FullReducer(b *testing.B) {
+	r := benchNursery(b)
+	s, err := schema.New([]bitset.AttrSet{
+		bitset.Of(0, 1, 2, 3, 7, 8),
+		bitset.Of(3, 4, 5, 6, 7, 8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := decompose.Decompose(r, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.FullReduce()
+	}
+}
+
+func BenchmarkMicro_SchemeEnumeration(b *testing.B) {
+	r := benchNursery(b)
+	m := core.NewMiner(entropy.New(r), core.DefaultOptions(0.3))
+	res := m.MineMVDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		m.EnumerateSchemes(res.MVDs, func(*core.Scheme) bool {
+			count++
+			return count < 50
+		})
+	}
+}

@@ -1,0 +1,195 @@
+// Command maimon mines approximate MVDs and acyclic schemes from a CSV
+// relation, the end-to-end workflow of the paper.
+//
+// Usage:
+//
+//	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
+//	       [-timeout 30s] [-max-schemes 50] [-fds]
+//
+// Modes:
+//
+//	minseps   print the minimal separators per attribute pair
+//	mvds      print Mε, the full ε-MVDs with minimal separator keys
+//	schemes   print mined acyclic schemes ranked by storage savings,
+//	          with J, savings S%, spurious-tuple rate E% and width
+//	decompose mine (or take -schema), pick the best scheme by savings,
+//	          and write one CSV per relation into -out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	maimon "repro"
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/fd"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "input CSV file (required)")
+		header     = flag.Bool("header", true, "first CSV record is the header")
+		epsilon    = flag.Float64("epsilon", 0, "approximation threshold ε in bits")
+		mode       = flag.String("mode", "schemes", "minseps | mvds | schemes")
+		timeout    = flag.Duration("timeout", time.Minute, "mining time budget (0 = unlimited)")
+		maxSchemes = flag.Int("max-schemes", 100, "cap on schemes enumerated (0 = all)")
+		withFDs    = flag.Bool("fds", false, "also mine exact FDs/UCCs (baseline)")
+		schemaSpec = flag.String("schema", "", "decompose mode: explicit schema, bags separated by ';' (e.g. \"A,B,D;A,C,D;B,D,E;A,F\")")
+		outDir     = flag.String("out", "decomposed", "decompose mode: output directory")
+		rank       = flag.String("rank", "savings", "schemes mode ordering: savings | j | relations | width")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	r, err := maimon.LoadCSV(*input, *header)
+	if err != nil {
+		fail("loading %s: %v", *input, err)
+	}
+	fmt.Printf("relation: %d rows × %d columns (%s)\n", r.NumRows(), r.NumCols(), *input)
+
+	opts := maimon.Options{Epsilon: *epsilon, Timeout: *timeout, MaxSchemes: *maxSchemes}
+	m := maimon.NewMiner(r, opts)
+
+	switch *mode {
+	case "minseps":
+		res := m.MineMinSepsAll()
+		for _, p := range res.SortedPairs() {
+			fmt.Printf("(%s, %s):", r.Name(p.A), r.Name(p.B))
+			for _, s := range res.MinSeps[p] {
+				fmt.Printf(" {%s}", s.Format(r.Names()))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%d minimal separators total\n", res.NumMinSeps())
+		warnTimeout(res.Err)
+	case "mvds":
+		res := m.MineMVDs()
+		for _, phi := range res.MVDs {
+			fmt.Printf("  %-40s J=%.4f\n", phi.Format(r.Names()), m.J(phi))
+		}
+		fmt.Printf("%d full ε-MVDs (ε=%.3f)\n", len(res.MVDs), *epsilon)
+		warnTimeout(res.Err)
+	case "schemes":
+		schemes, res := m.MineSchemes(*maxSchemes)
+		type row struct {
+			s   *core.Scheme
+			met decompose.Metrics
+		}
+		var rows []row
+		for _, s := range schemes {
+			met, err := maimon.Analyze(r, s.Schema)
+			if err != nil {
+				continue
+			}
+			rows = append(rows, row{s, met})
+		}
+		switch *rank {
+		case "savings":
+			sort.Slice(rows, func(i, j int) bool {
+				return rows[i].met.SavingsPct > rows[j].met.SavingsPct
+			})
+		case "j":
+			sort.Slice(rows, func(i, j int) bool {
+				return core.RankByJ.Less(rows[i].s, rows[j].s)
+			})
+		case "relations":
+			sort.Slice(rows, func(i, j int) bool {
+				return core.RankByRelations.Less(rows[i].s, rows[j].s)
+			})
+		case "width":
+			sort.Slice(rows, func(i, j int) bool {
+				return core.RankByWidth.Less(rows[i].s, rows[j].s)
+			})
+		default:
+			fail("unknown rank %q", *rank)
+		}
+		fmt.Printf("%-8s %-8s %-9s %-3s %-6s  %s\n", "J", "S[%]", "E[%]", "m", "width", "schema")
+		for _, rw := range rows {
+			fmt.Printf("%-8.3f %-8.1f %-9.2f %-3d %-6d  %s\n",
+				rw.s.J, rw.met.SavingsPct, rw.met.SpuriousPct,
+				rw.s.M(), rw.s.Schema.Width(), rw.s.Schema.Format(r.Names()))
+		}
+		fmt.Printf("%d schemes from %d full MVDs (ε=%.3f)\n", len(rows), len(res.MVDs), *epsilon)
+		warnTimeout(res.Err)
+	case "decompose":
+		sch, err := pickSchema(r, m, *schemaSpec, *maxSchemes)
+		if err != nil {
+			fail("%v", err)
+		}
+		d, err := decompose.Decompose(r, sch)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		if err := d.WriteCSVs(*outDir); err != nil {
+			fail("%v", err)
+		}
+		met, err := maimon.Analyze(r, sch)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("decomposed into %d relations under %s/ (S=%.1f%%, E=%.2f%%)\n",
+			sch.M(), *outDir, met.SavingsPct, met.SpuriousPct)
+		fmt.Printf("schema: %s\n", sch.Format(r.Names()))
+	default:
+		fail("unknown mode %q", *mode)
+	}
+
+	if *withFDs {
+		fmt.Println("\nFD/UCC baseline (exact):")
+		res := fd.NewMiner(r, fd.Options{}).Mine()
+		fmt.Print(res.Summary(r.Names()))
+	}
+}
+
+// pickSchema parses the explicit -schema spec or mines schemes and picks
+// the one with the best storage savings.
+func pickSchema(r *maimon.Relation, m *core.Miner, spec string, maxSchemes int) (maimon.Schema, error) {
+	if spec != "" {
+		var bags []maimon.AttrSet
+		for _, part := range strings.Split(spec, ";") {
+			b, err := r.ParseAttrs(strings.TrimSpace(part))
+			if err != nil {
+				return maimon.Schema{}, err
+			}
+			bags = append(bags, b)
+		}
+		return maimon.NewSchema(bags)
+	}
+	schemes, _ := m.MineSchemes(maxSchemes)
+	if len(schemes) == 0 {
+		return maimon.Schema{}, fmt.Errorf("no schemes mined; raise -epsilon or pass -schema")
+	}
+	best := schemes[0]
+	bestSavings := -1e18
+	for _, s := range schemes {
+		met, err := maimon.Analyze(r, s.Schema)
+		if err != nil {
+			continue
+		}
+		if met.SavingsPct > bestSavings {
+			best, bestSavings = s, met.SavingsPct
+		}
+	}
+	return best.Schema, nil
+}
+
+func warnTimeout(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v (results are partial)\n", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "maimon: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,264 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := Of(0, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if got := s.Add(2).Len(); got != 4 {
+		t.Fatalf("after Add, Len = %d", got)
+	}
+	if got := s.Remove(3); got != Of(0, 5) {
+		t.Fatalf("Remove(3) = %v", got)
+	}
+	if s.Remove(4) != s {
+		t.Fatal("removing absent element changed set")
+	}
+	if !Empty().IsEmpty() || s.IsEmpty() {
+		t.Fatal("IsEmpty wrong")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := Of(0, 1, 2), Of(2, 3)
+	if a.Union(b) != Of(0, 1, 2, 3) {
+		t.Fatal("Union")
+	}
+	if a.Intersect(b) != Of(2) {
+		t.Fatal("Intersect")
+	}
+	if a.Diff(b) != Of(0, 1) {
+		t.Fatal("Diff")
+	}
+	if !a.Intersects(b) || a.Disjoint(b) {
+		t.Fatal("Intersects/Disjoint")
+	}
+	if !Of(0, 1).Disjoint(Of(2, 3)) {
+		t.Fatal("Disjoint")
+	}
+	if a.Complement(4) != Of(3) {
+		t.Fatalf("Complement = %v", a.Complement(4))
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	if !Of(1).SubsetOf(Of(0, 1)) {
+		t.Fatal("SubsetOf")
+	}
+	if !Of(1).ProperSubsetOf(Of(0, 1)) {
+		t.Fatal("ProperSubsetOf")
+	}
+	if Of(0, 1).ProperSubsetOf(Of(0, 1)) {
+		t.Fatal("set is a proper subset of itself")
+	}
+	if Of(2).SubsetOf(Of(0, 1)) {
+		t.Fatal("not a subset")
+	}
+	if !Empty().SubsetOf(Of(5)) {
+		t.Fatal("empty set is a subset of everything")
+	}
+}
+
+func TestMinMaxIndices(t *testing.T) {
+	s := Of(3, 7, 12)
+	if s.Min() != 3 || s.Max() != 12 {
+		t.Fatalf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	if Empty().Min() != -1 || Empty().Max() != -1 {
+		t.Fatal("empty Min/Max should be -1")
+	}
+	got := s.Indices()
+	want := []int{3, 7, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v", got)
+		}
+	}
+}
+
+func TestFull(t *testing.T) {
+	if Full(0) != Empty() {
+		t.Fatal("Full(0)")
+	}
+	if Full(3) != Of(0, 1, 2) {
+		t.Fatal("Full(3)")
+	}
+	if Full(64).Len() != 64 {
+		t.Fatal("Full(64)")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := Of(1, 2, 3, 4)
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	s := Of(0, 2, 5)
+	var subs []AttrSet
+	s.Subsets(func(sub AttrSet) bool {
+		subs = append(subs, sub)
+		return true
+	})
+	if len(subs) != 8 {
+		t.Fatalf("got %d subsets, want 8", len(subs))
+	}
+	seen := map[AttrSet]bool{}
+	for _, sub := range subs {
+		if !sub.SubsetOf(s) {
+			t.Fatalf("%v not a subset of %v", sub, s)
+		}
+		if seen[sub] {
+			t.Fatalf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	cases := []struct {
+		set  AttrSet
+		want string
+	}{
+		{Empty(), "∅"},
+		{Of(0), "A"},
+		{Of(0, 3), "AD"},
+		{Of(1, 3, 4), "BDE"},
+	}
+	for _, c := range cases {
+		if got := c.set.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", uint64(c.set), got, c.want)
+		}
+		back, err := Parse(c.want)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.want, err)
+		}
+		if back != c.set {
+			t.Errorf("Parse(%q) = %v, want %v", c.want, back, c.set)
+		}
+	}
+	// Numeric form for high indices.
+	high := Of(30, 40)
+	s := high.String()
+	back, err := Parse(s)
+	if err != nil || back != high {
+		t.Fatalf("numeric round-trip %q -> %v, %v", s, back, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"A1B", "{1,", "{x}", "{99}"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	names := []string{"city", "state", "zip"}
+	if got := Of(0, 2).Format(names); got != "city,zip" {
+		t.Fatalf("Format = %q", got)
+	}
+	if got := Of(0, 3).Format(names); got != "city,#3" {
+		t.Fatalf("Format with missing name = %q", got)
+	}
+	if got := Empty().Format(names); got != "∅" {
+		t.Fatalf("Format empty = %q", got)
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	sets := []AttrSet{Of(0, 1, 2), Of(5), Of(0, 1), Of(3)}
+	SortSets(sets)
+	if sets[0] != Of(3) || sets[1] != Of(5) || sets[2] != Of(0, 1) || sets[3] != Of(0, 1, 2) {
+		t.Fatalf("SortSets order = %v", sets)
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	assertPanics(t, func() { Single(64) })
+	assertPanics(t, func() { Single(-1) })
+	assertPanics(t, func() { Empty().Add(64) })
+	assertPanics(t, func() { Full(65) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: De Morgan within a fixed universe.
+func TestQuickDeMorgan(t *testing.T) {
+	const n = 20
+	f := func(x, y uint32) bool {
+		a := AttrSet(x) & Full(n)
+		b := AttrSet(y) & Full(n)
+		left := a.Union(b).Complement(n)
+		right := a.Complement(n).Intersect(b.Complement(n))
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len is additive over disjoint unions.
+func TestQuickLenAdditive(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := AttrSet(x), AttrSet(y).Diff(AttrSet(x))
+		return a.Union(b).Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subsets enumerates exactly the subsets.
+func TestQuickSubsetsComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var s AttrSet
+		for i := 0; i < 8; i++ {
+			s = s.Add(rng.Intn(16))
+		}
+		count := 0
+		s.Subsets(func(sub AttrSet) bool {
+			count++
+			return true
+		})
+		if count != 1<<s.Len() {
+			t.Fatalf("set %v: %d subsets, want %d", s, count, 1<<s.Len())
+		}
+	}
+}
+
+func TestMinimalHelper(t *testing.T) {
+	family := []AttrSet{Of(0), Of(1, 2)}
+	if Minimal(Of(0, 3), family) {
+		t.Fatal("Of(0,3) has proper subset Of(0) in family")
+	}
+	if !Minimal(Of(3, 4), family) {
+		t.Fatal("Of(3,4) should be minimal")
+	}
+}

@@ -1,0 +1,156 @@
+package cnttid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/entropy"
+	"repro/internal/relation"
+)
+
+func paperR() *relation.Relation {
+	return relation.MustFromRows(
+		[]string{"A", "B", "C", "D", "E", "F"},
+		[][]string{
+			{"a1", "b1", "c1", "d1", "e1", "f1"},
+			{"a2", "b2", "c1", "d1", "e2", "f2"},
+			{"a2", "b2", "c2", "d2", "e3", "f2"},
+			{"a1", "b2", "c1", "d2", "e3", "f1"},
+		},
+	)
+}
+
+func TestPaperFig7Example(t *testing.T) {
+	// The exact example of Fig. 7: a 3-attribute, 5-row relation, showing
+	// which values survive singleton pruning.
+	r := relation.MustFromRows(
+		[]string{"A", "B", "C"},
+		[][]string{
+			{"a1", "b2", "c3"},
+			{"a2", "b1", "c1"},
+			{"a2", "b2", "c2"},
+			{"a3", "b3", "c3"},
+			{"a3", "b3", "c4"},
+		},
+	)
+	e := New(r)
+	// CNT_A keeps a2 (2) and a3 (2); CNT_B keeps b2, b3; CNT_C keeps c3.
+	ta := e.tables[bitset.Single(0)]
+	if len(ta.CNT) != 2 {
+		t.Fatalf("CNT_A has %d values, want 2", len(ta.CNT))
+	}
+	tc := e.tables[bitset.Single(2)]
+	if len(tc.CNT) != 1 {
+		t.Fatalf("CNT_C has %d values, want 1", len(tc.CNT))
+	}
+	// CNT_AB keeps only (a3,b3) with count 2, via the join query.
+	tab := e.table(bitset.Of(0, 1))
+	if len(tab.CNT) != 1 {
+		t.Fatalf("CNT_AB has %d values, want 1", len(tab.CNT))
+	}
+	for _, c := range tab.CNT {
+		if c != 2 {
+			t.Fatalf("CNT_AB count = %d, want 2", c)
+		}
+	}
+	// TID_AB lists rows 3 and 4 (0-based).
+	for _, tids := range tab.TID {
+		if len(tids) != 2 || tids[0] != 3 || tids[1] != 4 {
+			t.Fatalf("TID_AB = %v", tids)
+		}
+	}
+}
+
+func TestEntropiesMatchPaperExamples(t *testing.T) {
+	e := New(paperR())
+	cases := []struct {
+		attrs bitset.AttrSet
+		want  float64
+	}{
+		{bitset.Full(6), 2},
+		{bitset.Of(1, 3, 4), 1.5}, // BDE
+		{bitset.Single(0), 1},     // A
+	}
+	for _, c := range cases {
+		if got := e.H(c.attrs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("H(%v) = %v, want %v", c.attrs, got, c.want)
+		}
+	}
+}
+
+func TestMatchesPLIOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		r := datagen.Uniform(200, 12, 3, rng.Int63())
+		engine := NewWithBlockSize(r, 1+rng.Intn(6))
+		oracle := entropy.New(r)
+		for q := 0; q < 100; q++ {
+			attrs := bitset.AttrSet(rng.Int63()) & bitset.Full(12)
+			if got, want := engine.H(attrs), oracle.H(attrs); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d attrs %v: CNT/TID %v, PLI %v", trial, attrs, got, want)
+			}
+		}
+	}
+}
+
+func TestMIMatchesOracle(t *testing.T) {
+	r := paperR()
+	e := New(r)
+	o := entropy.New(r)
+	at := func(s string) bitset.AttrSet {
+		a, _ := bitset.Parse(s)
+		return a
+	}
+	cases := [][3]bitset.AttrSet{
+		{at("E"), at("ACF"), at("BD")},
+		{at("CF"), at("BE"), at("AD")},
+		{at("F"), at("BCDE"), at("A")},
+		{at("B"), at("C"), at("A")},
+	}
+	for _, c := range cases {
+		if got, want := e.MI(c[0], c[1], c[2]), o.MI(c[0], c[1], c[2]); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MI(%v;%v|%v): %v vs %v", c[0], c[1], c[2], got, want)
+		}
+	}
+}
+
+func TestTablesShrinkUpTheLattice(t *testing.T) {
+	// The compression claim of Sec. 6.3: as attribute sets grow, more
+	// projected tuples become unique and the tables shrink.
+	r := datagen.Uniform(500, 6, 4, 3)
+	e := New(r)
+	prev := e.table(bitset.Single(0)).rows()
+	cur := bitset.Single(0)
+	for j := 1; j < 6; j++ {
+		cur = cur.Add(j)
+		rows := e.table(cur).rows()
+		if rows > prev {
+			t.Fatalf("table grew from %d to %d at %v", prev, rows, cur)
+		}
+		prev = rows
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	r := paperR()
+	e := New(r)
+	e.H(bitset.Of(0, 1, 2))
+	st := e.Stats()
+	if st.Joins == 0 || st.Tables <= 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEmptyAndSingleRow(t *testing.T) {
+	r := relation.MustFromRows([]string{"A", "B"}, [][]string{{"x", "y"}})
+	e := New(r)
+	if e.H(bitset.Full(2)) != 0 {
+		t.Fatal("single-row entropy must be 0")
+	}
+	if e.H(bitset.Empty()) != 0 {
+		t.Fatal("H(∅) must be 0")
+	}
+}

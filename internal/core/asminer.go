@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/info"
+	"repro/internal/mis"
+	"repro/internal/mvd"
+	"repro/internal/schema"
+)
+
+// Scheme is one acyclic schema produced by phase 2, with the measures the
+// paper's evaluation reports.
+type Scheme struct {
+	Schema  schema.Schema
+	Tree    *schema.JoinTree
+	J       float64   // J(S) per Lee (Eq. 6), in bits
+	Support []mvd.MVD // the compatible MVD set Q the schema was built from
+}
+
+// M returns the number of relations in the scheme.
+func (s *Scheme) M() int { return s.Schema.M() }
+
+// EnumerateSchemes is ASMiner (Fig. 8): it builds the incompatibility
+// graph over the given MVDs (Eq. 15), enumerates its maximal independent
+// sets — the maximal pairwise-compatible subsets — and synthesizes one
+// acyclic schema from each via BuildAcyclicSchema (Fig. 9). emit is called
+// once per distinct schema; return false to stop early (the paper's
+// run-for-30-minutes protocol). Schemes that fail join-tree construction
+// (possible for approximate inputs whose compatible set is not tree-
+// consistent) are skipped.
+func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
+	m.opts.startPhase()
+	ms := append([]mvd.MVD(nil), mvds...)
+	mvd.Sort(ms)
+	g := mis.NewGraph(len(ms))
+	for i := range ms {
+		for j := i + 1; j < len(ms); j++ {
+			if Incompatible(ms[i], ms[j]) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	enumerate := g.EnumerateBK
+	if m.opts.UseJPYEnumerator {
+		enumerate = g.EnumerateJPY
+	}
+	seen := make(map[string]bool)
+	enumerate(func(set []int) bool {
+		if m.opts.expired() {
+			return false
+		}
+		q := make([]mvd.MVD, len(set))
+		for k, idx := range set {
+			q[k] = ms[idx]
+		}
+		sch, err := m.BuildAcyclicSchema(q)
+		if err != nil {
+			return true
+		}
+		fp := sch.Fingerprint()
+		if seen[fp] {
+			return true
+		}
+		seen[fp] = true
+		tree, err := schema.BuildJoinTree(sch)
+		if err != nil {
+			return true // not acyclic: cannot happen per Thm. 7.4, but stay safe
+		}
+		s := &Scheme{
+			Schema:  sch,
+			Tree:    tree,
+			J:       info.JTree(m.oracle, tree),
+			Support: q,
+		}
+		return emit(s)
+	})
+}
+
+// MineSchemes runs both phases end to end and collects up to maxSchemes
+// schemes (0 = unlimited, subject to Options.Deadline).
+func (m *Miner) MineSchemes(maxSchemes int) ([]*Scheme, *MVDResult) {
+	res := m.MineMVDs()
+	var out []*Scheme
+	m.EnumerateSchemes(res.MVDs, func(s *Scheme) bool {
+		out = append(out, s)
+		return maxSchemes <= 0 || len(out) < maxSchemes
+	})
+	return out, res
+}
+
+// BuildAcyclicSchema is Fig. 9: starting from the universal schema {Ω},
+// apply each MVD of q in ascending key-cardinality order, splitting the
+// single relation that contains its key into the key-extended projections
+// of its dependents. Redundant MVDs (that fail to split, line 7) are
+// skipped. The result is acyclic and its join tree's support is contained
+// in q (Thm. 7.4).
+func (m *Miner) BuildAcyclicSchema(q []mvd.MVD) (schema.Schema, error) {
+	return BuildAcyclicSchema(bitset.Full(m.oracle.NumAttrs()), q)
+}
+
+// BuildAcyclicSchema is the standalone form over an explicit universe.
+func BuildAcyclicSchema(universe bitset.AttrSet, q []mvd.MVD) (schema.Schema, error) {
+	sorted := append([]mvd.MVD(nil), q...)
+	mvd.Sort(sorted)
+	current := []bitset.AttrSet{universe}
+	for _, phi := range sorted {
+		// Find the relation containing the key (processing order makes it
+		// unique for compatible sets; pick the first deterministically).
+		target := -1
+		for i, omega := range current {
+			if phi.Key.SubsetOf(omega) {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			continue // key not embedded: the MVD cannot decompose anything
+		}
+		omega := current[target]
+		var parts []bitset.AttrSet
+		for _, dep := range phi.Deps {
+			part := dep.Union(phi.Key).Intersect(omega)
+			if part != phi.Key {
+				parts = append(parts, part)
+			}
+		}
+		if len(parts) < 2 {
+			continue // redundant MVD (Fig. 9 line 7)
+		}
+		current = append(current[:target:target], current[target+1:]...)
+		current = append(current, parts...)
+	}
+	return schema.New(current)
+}

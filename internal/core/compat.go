@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/mvd"
+)
+
+// Compatible implements Def. 7.1, the paper's novel pairwise
+// characterization that reduces schema enumeration to maximal independent
+// sets. MVDs ϕ1 = X ↠ A1|…|Am and ϕ2 = Y ↠ B1|…|Bk are compatible when
+// there exist dependents Ai of ϕ1 and Bj of ϕ2 such that, simultaneously:
+//
+//  1. Y ⊆ XAi and X ⊆ YBj (the pair is split-free: neither key is split
+//     by the other MVD), and
+//  2. XAi meets at least two distinct dependents of ϕ2, and YBj meets at
+//     least two distinct dependents of ϕ1 (each MVD genuinely splits the
+//     other's complementary side).
+//
+// The support of any join tree is pairwise compatible (Thm. 7.2), so
+// enumerating maximal compatible sets loses no acyclic schema.
+func Compatible(phi1, phi2 mvd.MVD) bool {
+	for i := range phi1.Deps {
+		xai := phi1.Key.Union(phi1.Deps[i])
+		if !phi2.Key.SubsetOf(xai) {
+			continue
+		}
+		if countMeets(xai, phi2) < 2 {
+			continue
+		}
+		for j := range phi2.Deps {
+			ybj := phi2.Key.Union(phi2.Deps[j])
+			if !phi1.Key.SubsetOf(ybj) {
+				continue
+			}
+			if countMeets(ybj, phi1) < 2 {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Incompatible is ϕ1 ♯ ϕ2 of Def. 7.1.
+func Incompatible(phi1, phi2 mvd.MVD) bool { return !Compatible(phi1, phi2) }
+
+// countMeets returns how many dependents of m the set s intersects,
+// early-exiting at 2 (only "< 2" is ever asked).
+func countMeets(s bitset.AttrSet, m mvd.MVD) int {
+	n := 0
+	for _, d := range m.Deps {
+		if s.Intersects(d) {
+			n++
+			if n == 2 {
+				return n
+			}
+		}
+	}
+	return n
+}

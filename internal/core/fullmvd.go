@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/mvd"
+)
+
+// Miner binds an entropy oracle to mining options. All phase-1 and phase-2
+// entry points hang off it. Miner is not safe for concurrent use.
+type Miner struct {
+	oracle *entropy.Oracle
+	opts   Options
+
+	// searchStats accumulates across getFullMVDs invocations; curVisited
+	// counts candidates inspected by the invocation in flight (for
+	// MaxVisitedPerSearch).
+	searchStats SearchStats
+	curVisited  int
+	minsepTrace MinSepTrace
+}
+
+// SearchStats counts getFullMVDs work across a mining run.
+type SearchStats struct {
+	Searches   int // getFullMVDs invocations
+	Visited    int // candidate MVDs popped and evaluated
+	Pruned     int // candidates discarded by the pairwise-consistency repair
+	Truncated  int // searches that hit MaxVisitedPerSearch
+	JEvals     int // J-measure evaluations
+	Repairs    int // getPairwiseConsistentMVD merge steps performed
+	TimeoutHit bool
+}
+
+// NewMiner builds a miner over the oracle with the given options.
+func NewMiner(o *entropy.Oracle, opts Options) *Miner {
+	return &Miner{oracle: o, opts: opts}
+}
+
+// Oracle exposes the underlying entropy oracle (stats reporting).
+func (m *Miner) Oracle() *entropy.Oracle { return m.oracle }
+
+// Options returns the miner's options.
+func (m *Miner) Options() Options { return m.opts }
+
+// SearchStats returns accumulated search counters.
+func (m *Miner) SearchStats() SearchStats { return m.searchStats }
+
+// J evaluates the J-measure of an MVD against the miner's oracle.
+func (m *Miner) J(phi mvd.MVD) float64 {
+	m.searchStats.JEvals++
+	return info.JMVD(m.oracle, phi)
+}
+
+// GetFullMVDs is getFullMVDs/getFullMVDsOpt (paper Figs. 6 and 17): it
+// returns up to k full ε-MVDs with key sep in which attributes a and b lie
+// in distinct dependents. k = 0 means unlimited (the paper's K = ∞).
+//
+// The search walks the dependent-partition lattice from the most refined
+// candidate (all singletons) towards coarser ones, expanding a candidate's
+// merge-neighbors (Eq. 13) only when its J exceeds ε; outputs are the
+// refinement-maximal holders, i.e. the full MVDs (Sec. 5.2). When
+// Options.PairwiseConsistency is set, candidates are first repaired with
+// the forced merges of getPairwiseConsistentMVD (Fig. 16).
+func (m *Miner) GetFullMVDs(sep bitset.AttrSet, a, b int, k int) []mvd.MVD {
+	m.searchStats.Searches++
+	n := m.oracle.NumAttrs()
+	if sep.Contains(a) || sep.Contains(b) {
+		panic(fmt.Sprintf("core: separator %v contains one of the pair (%d,%d)", sep, a, b))
+	}
+	root, err := mvd.Singletons(sep, n)
+	if err != nil {
+		return nil // fewer than two free attributes: no MVD with this key
+	}
+	if m.opts.PairwiseConsistency {
+		repaired, ok := m.pairwiseConsistent(root, a, b)
+		if !ok {
+			return nil
+		}
+		root = repaired
+	}
+
+	var out []mvd.MVD
+	visited := map[string]bool{root.Fingerprint(): true}
+	stack := []mvd.MVD{root}
+	truncated := false
+	for len(stack) > 0 {
+		if k > 0 && len(out) >= k {
+			break
+		}
+		if m.opts.MaxVisitedPerSearch > 0 && m.searchVisited() {
+			truncated = true
+			break
+		}
+		if m.opts.expired() {
+			m.searchStats.TimeoutHit = true
+			break
+		}
+		phi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m.searchStats.Visited++
+		m.curVisited++
+		if info.LeqEps(m.J(phi), m.opts.Epsilon) {
+			out = append(out, phi)
+			continue
+		}
+		for _, nb := range phi.Neighbors(a, b) {
+			cand := nb
+			if m.opts.PairwiseConsistency {
+				repaired, ok := m.pairwiseConsistent(nb, a, b)
+				if !ok {
+					m.searchStats.Pruned++
+					continue
+				}
+				cand = repaired
+			}
+			fp := cand.Fingerprint()
+			if !visited[fp] {
+				visited[fp] = true
+				stack = append(stack, cand)
+			}
+		}
+	}
+	m.curVisited = 0
+	if truncated {
+		m.searchStats.Truncated++
+	}
+	// Keep only refinement-maximal outputs: a holder refined by another
+	// holder is not full. (Outputs reached along different DFS paths can
+	// be coarsenings of one another; see DESIGN.md.)
+	return fullOnly(out)
+}
+
+// curVisited tracks per-search visited count for MaxVisitedPerSearch.
+func (m *Miner) searchVisited() bool {
+	return m.curVisited >= m.opts.MaxVisitedPerSearch
+}
+
+// pairwiseConsistent is getPairwiseConsistentMVD (Fig. 16): while some
+// dependent pair Ci,Cj has I(Ci;Cj|S) > ε, merge it (the merge is forced:
+// any ε-MVD coarsening phi must unite that pair, by Prop. 5.1/5.2). It
+// fails when a and b end up in the same dependent.
+func (m *Miner) pairwiseConsistent(phi mvd.MVD, a, b int) (mvd.MVD, bool) {
+	for {
+		if !phi.Separates(a, b) {
+			return mvd.MVD{}, false
+		}
+		// A single repair pass costs O(m²) mutual-information evaluations
+		// (m up to 45 on the widest dataset), so the deadline must be
+		// honored here too; under timeout results are partial anyway.
+		if m.opts.expired() {
+			m.searchStats.TimeoutHit = true
+			return mvd.MVD{}, false
+		}
+		i, j := m.findInconsistentPair(phi)
+		if i < 0 {
+			return phi, true
+		}
+		m.searchStats.Repairs++
+		phi = phi.Merge(i, j)
+	}
+}
+
+// findInconsistentPair returns the first dependent pair (canonical order)
+// violating I(Ci;Cj|S) ≤ ε, or (-1,-1).
+func (m *Miner) findInconsistentPair(phi mvd.MVD) (int, int) {
+	for i := 0; i < len(phi.Deps); i++ {
+		for j := i + 1; j < len(phi.Deps); j++ {
+			if !info.LeqEps(m.oracle.MI(phi.Deps[i], phi.Deps[j], phi.Key), m.opts.Epsilon) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// SeparatorHolds reports whether sep admits any ε-MVD separating a and b —
+// the test used by MineMinSeps and ReduceMinSep (K = 1 call sites).
+func (m *Miner) SeparatorHolds(sep bitset.AttrSet, a, b int) bool {
+	return len(m.GetFullMVDs(sep, a, b, 1)) > 0
+}
+
+// fullOnly removes every MVD strictly refined by another member.
+func fullOnly(ms []mvd.MVD) []mvd.MVD {
+	var out []mvd.MVD
+	for i, phi := range ms {
+		dominated := false
+		for j, psi := range ms {
+			if i == j {
+				continue
+			}
+			if psi.StrictlyRefines(phi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, phi)
+		}
+	}
+	mvd.Sort(out)
+	return out
+}

@@ -1,0 +1,6 @@
+package core
+
+import "time"
+
+// pastDeadline returns a deadline that has already expired.
+func pastDeadline() time.Time { return time.Now().Add(-time.Second) }

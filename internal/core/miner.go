@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/mvd"
+)
+
+// Pair is an unordered attribute pair (A < B).
+type Pair struct{ A, B int }
+
+// MVDResult is the outcome of phase 1 (MVDMiner, Fig. 3).
+type MVDResult struct {
+	// MVDs is Mε (Eq. 11): the union over pairs and minimal separators of
+	// the full ε-MVDs, deduplicated and in canonical order.
+	MVDs []mvd.MVD
+	// MinSeps maps each attribute pair to its minimal separators.
+	MinSeps map[Pair][]bitset.AttrSet
+	// Err is ErrInterrupted when the deadline expired mid-run (results so
+	// far are valid but possibly incomplete); nil otherwise.
+	Err error
+}
+
+// Separators returns the distinct minimal separators across all pairs, in
+// canonical order.
+func (r *MVDResult) Separators() []bitset.AttrSet {
+	seen := make(map[bitset.AttrSet]bool)
+	var out []bitset.AttrSet
+	for _, seps := range r.MinSeps {
+		for _, s := range seps {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	bitset.SortSets(out)
+	return out
+}
+
+// NumMinSeps returns the total count of (pair, separator) entries, the
+// quantity plotted in the paper's Figs. 14 and 18.
+func (r *MVDResult) NumMinSeps() int {
+	n := 0
+	for _, seps := range r.MinSeps {
+		n += len(seps)
+	}
+	return n
+}
+
+// MineMVDs is MVDMiner (Fig. 3): for every attribute pair (or the pairs
+// restricted by Options.Pairs), mine the minimal separators and then the
+// full ε-MVDs for each separator; return their union Mε.
+func (m *Miner) MineMVDs() *MVDResult {
+	m.opts.startPhase()
+	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
+	seen := make(map[string]bool)
+	pairs := m.opts.Pairs
+	if pairs == nil {
+		n := m.oracle.NumAttrs()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+	}
+	for _, p := range pairs {
+		if m.opts.expired() {
+			res.Err = ErrInterrupted
+			break
+		}
+		a, b := p[0], p[1]
+		if a > b {
+			a, b = b, a
+		}
+		seps := m.MineMinSeps(a, b)
+		if len(seps) > 0 {
+			res.MinSeps[Pair{a, b}] = seps
+		}
+		for _, sep := range seps {
+			if m.opts.expired() {
+				res.Err = ErrInterrupted
+				break
+			}
+			for _, phi := range m.GetFullMVDs(sep, a, b, m.opts.MaxFullMVDsPerSeparator) {
+				fp := phi.Fingerprint()
+				if !seen[fp] {
+					seen[fp] = true
+					res.MVDs = append(res.MVDs, phi)
+				}
+			}
+		}
+	}
+	if m.searchStats.TimeoutHit && res.Err == nil {
+		res.Err = ErrInterrupted
+	}
+	mvd.Sort(res.MVDs)
+	return res
+}
+
+// MineMinSepsAll runs only the separator phase for every pair — the
+// workload measured by the paper's scalability experiments (Sec. 8.3),
+// which report that separator mining dominates total runtime.
+func (m *Miner) MineMinSepsAll() *MVDResult {
+	m.opts.startPhase()
+	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
+	n := m.oracle.NumAttrs()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if m.opts.expired() {
+				res.Err = ErrInterrupted
+				return res
+			}
+			seps := m.MineMinSeps(a, b)
+			if len(seps) > 0 {
+				res.MinSeps[Pair{a, b}] = seps
+			}
+		}
+	}
+	if m.searchStats.TimeoutHit {
+		res.Err = ErrInterrupted
+	}
+	return res
+}
+
+// SortedPairs returns the result's pairs in lexicographic order (stable
+// iteration for reports and tests).
+func (r *MVDResult) SortedPairs() []Pair {
+	out := make([]Pair, 0, len(r.MinSeps))
+	for p := range r.MinSeps {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/info"
+	"repro/internal/transversal"
+)
+
+// ReduceMinSep is the greedy minimization of Fig. 4: starting from a known
+// separator x of the pair (a,b), drop attributes in index order whenever
+// the remainder still separates. The result is a minimal a,b-separator
+// contained in x.
+func (m *Miner) ReduceMinSep(x bitset.AttrSet, a, b int) bitset.AttrSet {
+	s := x
+	x.ForEach(func(i int) bool {
+		cand := s.Remove(i)
+		if m.SeparatorHolds(cand, a, b) {
+			s = cand
+		}
+		return true
+	})
+	return s
+}
+
+// MinSepTrace instruments one MineMinSeps invocation. The paper bounds
+// the number of minimal transversals processed between consecutive
+// separator discoveries by the negative border: |BD⁻(C)| ≤ n·|C|
+// (Thm. 12.2); MaxWastedRun lets tests check that bound empirically.
+type MinSepTrace struct {
+	Processed    int // minimal transversals pulled from the enumerator
+	Wasted       int // transversals whose complement did not separate
+	MaxWastedRun int // longest waste run between discoveries (or the end)
+	Separators   int // minimal separators found
+}
+
+// LastMinSepTrace returns the trace of the most recent MineMinSeps call.
+func (m *Miner) LastMinSepTrace() MinSepTrace { return m.minsepTrace }
+
+// MineMinSeps is Fig. 5: enumerate all minimal a,b-separators of the
+// miner's relation at threshold ε. The enumeration alternates between
+// reducing a found separator and generating minimal transversals of the
+// separators found so far (Thm. 6.1): a new minimal separator exists iff
+// some minimal transversal's complement (within Ω \ {a,b}) separates.
+func (m *Miner) MineMinSeps(a, b int) []bitset.AttrSet {
+	n := m.oracle.NumAttrs()
+	universe := bitset.Full(n).Remove(a).Remove(b)
+	m.minsepTrace = MinSepTrace{}
+
+	// Line 3: the largest candidate key is Ω \ {a,b}; if even it does not
+	// separate, no separator exists (Prop. 5.1 Eq. 8).
+	if !info.LeqEps(m.oracle.MI(bitset.Single(a), bitset.Single(b), universe), m.opts.Epsilon) {
+		return nil
+	}
+	first := m.ReduceMinSep(universe, a, b)
+	seps := []bitset.AttrSet{first}
+	enum := transversal.New(universe)
+	enum.AddEdge(first)
+
+	wastedRun := 0
+	for {
+		if m.opts.expired() {
+			m.searchStats.TimeoutHit = true
+			break
+		}
+		d, ok := enum.Next()
+		if !ok {
+			break
+		}
+		m.minsepTrace.Processed++
+		cand := universe.Diff(d)
+		if !m.SeparatorHolds(cand, a, b) {
+			m.minsepTrace.Wasted++
+			wastedRun++
+			if wastedRun > m.minsepTrace.MaxWastedRun {
+				m.minsepTrace.MaxWastedRun = wastedRun
+			}
+			continue
+		}
+		wastedRun = 0
+		x := m.ReduceMinSep(cand, a, b)
+		seps = append(seps, x)
+		enum.AddEdge(x)
+	}
+	bitset.SortSets(seps)
+	m.minsepTrace.Separators = len(seps)
+	return seps
+}

@@ -1,0 +1,83 @@
+// Package core implements Maimon's two mining phases (paper Secs. 6-7):
+//
+//   - Phase 1, MVDMiner (Fig. 3): for every attribute pair (A,B), enumerate
+//     the minimal A,B-separators (MineMinSeps, Fig. 5, via incremental
+//     minimal-transversal generation) and, for each, the full ε-MVDs with
+//     that key (getFullMVDs, Figs. 6/16/17). The union is Mε (Eq. 11).
+//   - Phase 2, ASMiner (Fig. 8): enumerate maximal sets of pairwise-
+//     compatible MVDs (Def. 7.1) as maximal independent sets of the
+//     incompatibility graph, and synthesize one acyclic schema per set
+//     with BuildAcyclicSchema (Fig. 9).
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// Epsilon is the approximation threshold ε ≥ 0 on the J-measure
+	// (bits). ε = 0 mines exact MVDs and schemas.
+	Epsilon float64
+
+	// PairwiseConsistency enables the getFullMVDsOpt pruning of App. 12.3:
+	// candidates are repaired by force-merging dependent pairs Ci,Cj with
+	// I(Ci;Cj|S) > ε before being explored. On by default (DefaultOptions);
+	// the ablation bench turns it off.
+	PairwiseConsistency bool
+
+	// MaxFullMVDsPerSeparator is the paper's K for the MVDMiner call site
+	// (Fig. 3 line 5 uses K = ∞, encoded as 0 = unlimited).
+	MaxFullMVDsPerSeparator int
+
+	// MaxVisitedPerSearch caps the number of candidate MVDs one
+	// getFullMVDs invocation may inspect; 0 means unlimited. A hit is
+	// reported through Result.Truncated.
+	MaxVisitedPerSearch int
+
+	// Deadline, when non-zero, stops mining early with partial results
+	// (the paper's 5-hour / 30-minute protocol).
+	Deadline time.Time
+
+	// Budget, when non-zero, gives each top-level phase (MineMVDs,
+	// MineMinSepsAll, EnumerateSchemes) its own deadline of now+Budget at
+	// entry, mirroring the paper's per-phase time limits. It overrides
+	// Deadline.
+	Budget time.Duration
+
+	// Pairs, when non-nil, restricts MVDMiner to these attribute pairs;
+	// nil means all pairs (the normal mode).
+	Pairs [][2]int
+
+	// UseJPYEnumerator switches ASMiner's maximal-independent-set engine
+	// from Bron–Kerbosch (default; output-sensitive, fast in practice) to
+	// the Johnson–Papadimitriou–Yannakakis queue scheme the paper cites
+	// (Thm. 7.3; polynomial delay, higher memory).
+	UseJPYEnumerator bool
+}
+
+// DefaultOptions returns the configuration matching the paper's system:
+// pruning on, K unlimited, no state cap, no deadline.
+func DefaultOptions(epsilon float64) Options {
+	return Options{
+		Epsilon:             epsilon,
+		PairwiseConsistency: true,
+	}
+}
+
+// ErrInterrupted is returned through Result.Err when a deadline expired;
+// results gathered so far are still valid.
+var ErrInterrupted = errors.New("core: mining interrupted by deadline")
+
+func (o *Options) expired() bool {
+	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+}
+
+// startPhase arms the deadline for a new top-level phase when a per-phase
+// budget is configured.
+func (o *Options) startPhase() {
+	if o.Budget > 0 {
+		o.Deadline = time.Now().Add(o.Budget)
+	}
+}

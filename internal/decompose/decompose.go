@@ -1,0 +1,290 @@
+// Package decompose evaluates the quality of an acyclic schema as a
+// decomposition of a concrete relation: the storage savings S and the
+// spurious-tuple rate E that the paper's use case reports (Sec. 8.1), and
+// the pareto front over (S, E) that Fig. 11 draws.
+//
+// Spurious tuples are counted without materializing the join: the size of
+// the acyclic join ⋈ᵢ R[Ωi] is computed exactly by Yannakakis-style
+// weighted message passing over the join tree in one bottom-up pass.
+// A materializing join is also provided; tests use it to validate the
+// count on small inputs.
+package decompose
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// Metrics quantifies a decomposition of a relation.
+type Metrics struct {
+	Relations int // m, number of relations in the schema
+	Width     int // largest relation arity (Sec. 8.4)
+	IntWidth  int // largest separator size (Sec. 8.4)
+
+	RowsOriginal    int     // |R| after dedup
+	CellsOriginal   int     // |R| × |Ω|
+	CellsDecomposed int     // Σ |R[Ωi]| × |Ωi|
+	SavingsPct      float64 // S = 100 × (1 − decomposed/original)
+
+	JoinSize    float64 // |⋈ R[Ωi]| (exact; float64 to tolerate blow-ups)
+	Spurious    float64 // JoinSize − |R|
+	SpuriousPct float64 // E = 100 × Spurious / |R|
+}
+
+// Analyze computes the decomposition metrics of schema s over r. The
+// schema must cover exactly the attributes of r and be acyclic.
+func Analyze(r *relation.Relation, s schema.Schema) (Metrics, error) {
+	if s.Attrs() != r.AllAttrs() {
+		return Metrics{}, fmt.Errorf("decompose: schema %v does not cover the relation's %d attributes", s, r.NumCols())
+	}
+	tree, err := schema.BuildJoinTree(s)
+	if err != nil {
+		return Metrics{}, err
+	}
+	base := r.Dedup()
+	n := base.NumRows()
+
+	projections := make([]*relation.Relation, len(tree.Bags))
+	cellsDecomposed := 0
+	for i, bag := range tree.Bags {
+		projections[i] = base.Project(bag)
+		cellsDecomposed += projections[i].Cells()
+	}
+	joinSize := JoinSizeOnTree(tree, projections)
+
+	m := Metrics{
+		Relations:       s.M(),
+		Width:           s.Width(),
+		IntWidth:        s.IntersectionWidth(),
+		RowsOriginal:    n,
+		CellsOriginal:   base.Cells(),
+		CellsDecomposed: cellsDecomposed,
+		JoinSize:        joinSize,
+		Spurious:        joinSize - float64(n),
+	}
+	if m.CellsOriginal > 0 {
+		m.SavingsPct = 100 * (1 - float64(m.CellsDecomposed)/float64(m.CellsOriginal))
+	}
+	if n > 0 {
+		m.SpuriousPct = 100 * m.Spurious / float64(n)
+	}
+	return m, nil
+}
+
+// JoinSizeOnTree returns |⋈ᵢ projections[i]| for projections arranged on
+// the given join tree, by bottom-up counting: each tuple of a bag carries
+// the product over children of the summed weights of matching child
+// tuples, and the total is the weight sum at the root.
+func JoinSizeOnTree(tree *schema.JoinTree, projections []*relation.Relation) float64 {
+	if len(tree.Bags) == 1 {
+		return float64(projections[0].NumRows())
+	}
+	order, parents := tree.DepthFirstOrder()
+	// messages[u] maps the separator key (toward u's parent) to the summed
+	// weight of u's subtree tuples with that separator value.
+	messages := make([]map[string]float64, len(tree.Bags))
+	childrenOf := make([][]int, len(tree.Bags))
+	for _, u := range order[1:] {
+		childrenOf[parents[u]] = append(childrenOf[parents[u]], u)
+	}
+	// Process in reverse depth-first order: children before parents.
+	for k := len(order) - 1; k >= 0; k-- {
+		u := order[k]
+		proj := projections[u]
+		bagU := tree.Bags[u]
+		// Weight of each tuple of u = product of children's messages.
+		weights := make([]float64, proj.NumRows())
+		for i := range weights {
+			weights[i] = 1
+		}
+		for _, c := range childrenOf[u] {
+			sep := bagU.Intersect(tree.Bags[c])
+			sepIdx := projColumns(bagU, sep)
+			msg := messages[c]
+			for i := range weights {
+				if weights[i] == 0 {
+					continue
+				}
+				weights[i] *= msg[projKey(proj, i, sepIdx)]
+			}
+		}
+		if u == order[0] {
+			total := 0.0
+			for _, w := range weights {
+				total += w
+			}
+			return total
+		}
+		sep := bagU.Intersect(tree.Bags[parents[u]])
+		sepIdx := projColumns(bagU, sep)
+		msg := make(map[string]float64)
+		for i, w := range weights {
+			if w != 0 {
+				msg[projKey(proj, i, sepIdx)] += w
+			}
+		}
+		messages[u] = msg
+	}
+	return 0 // unreachable: the root returns inside the loop
+}
+
+// projColumns maps an attribute subset of a bag to column indices within
+// the bag's projection (whose columns follow increasing attribute index).
+func projColumns(bag, subset bitset.AttrSet) []int {
+	cols := make([]int, 0, subset.Len())
+	pos := 0
+	bag.ForEach(func(a int) bool {
+		if subset.Contains(a) {
+			cols = append(cols, pos)
+		}
+		pos++
+		return true
+	})
+	return cols
+}
+
+// projKey builds a comparable key from the given projection columns of
+// row i, using string values so keys stay comparable across projections
+// that do not share dictionaries (e.g. hand-built decompositions and
+// relations rebuilt by semijoins).
+func projKey(r *relation.Relation, i int, cols []int) string {
+	buf := make([]byte, 0, 8*len(cols))
+	for _, j := range cols {
+		buf = append(buf, r.Value(i, j)...)
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// MaterializeJoin computes ⋈ᵢ R[Ωi] explicitly (set semantics) and returns
+// it as a relation over r's full signature. Intended for small inputs and
+// validation; the result can be exponentially larger than r.
+func MaterializeJoin(r *relation.Relation, s schema.Schema) (*relation.Relation, error) {
+	if s.Attrs() != r.AllAttrs() {
+		return nil, fmt.Errorf("decompose: schema %v does not cover the relation", s)
+	}
+	base := r.Dedup()
+	// Join in an order that keeps intermediate results connected: follow a
+	// join tree's depth-first order.
+	tree, err := schema.BuildJoinTree(s)
+	if err != nil {
+		return nil, err
+	}
+	order, _ := tree.DepthFirstOrder()
+	acc := base.Project(tree.Bags[order[0]])
+	accAttrs := tree.Bags[order[0]]
+	for _, u := range order[1:] {
+		next := base.Project(tree.Bags[u])
+		acc = naturalJoin(acc, next)
+		accAttrs = accAttrs.Union(tree.Bags[u])
+	}
+	if accAttrs != r.AllAttrs() {
+		return nil, fmt.Errorf("decompose: join covered %v, want all attributes", accAttrs)
+	}
+	// Reorder columns to the original signature.
+	perm := make([]string, r.NumCols())
+	for j := range perm {
+		perm[j] = r.Name(j)
+	}
+	b := relation.NewBuilder(perm)
+	for i := 0; i < acc.NumRows(); i++ {
+		row := make([]string, len(perm))
+		for j, name := range perm {
+			row[j] = acc.Value(i, acc.AttrIndex(name))
+		}
+		b.AddRow(row)
+	}
+	return b.Relation().Dedup(), nil
+}
+
+// naturalJoin joins two relations on their shared column names, comparing
+// string values (projections of a common base share dictionaries, but this
+// keeps the helper general).
+func naturalJoin(a, b *relation.Relation) *relation.Relation {
+	var sharedA, sharedB, restB []int
+	for jb, name := range b.Names() {
+		if ja := a.AttrIndex(name); ja >= 0 {
+			sharedA = append(sharedA, ja)
+			sharedB = append(sharedB, jb)
+		} else {
+			restB = append(restB, jb)
+		}
+	}
+	names := append([]string(nil), a.Names()...)
+	for _, jb := range restB {
+		names = append(names, b.Name(jb))
+	}
+	out := relation.NewBuilder(names)
+	// Hash b by shared values.
+	index := make(map[string][]int, b.NumRows())
+	for i := 0; i < b.NumRows(); i++ {
+		index[joinKey(b, i, sharedB)] = append(index[joinKey(b, i, sharedB)], i)
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		for _, ib := range index[joinKey(a, i, sharedA)] {
+			row := make([]string, 0, len(names))
+			row = append(row, a.Row(i)...)
+			for _, jb := range restB {
+				row = append(row, b.Value(ib, jb))
+			}
+			out.AddRow(row)
+		}
+	}
+	return out.Relation()
+}
+
+func joinKey(r *relation.Relation, i int, cols []int) string {
+	key := ""
+	for _, j := range cols {
+		key += r.Value(i, j) + "\x00"
+	}
+	return key
+}
+
+// Point is a scheme's position in the savings/spurious plane of Fig. 11.
+type Point struct {
+	Index    int     // caller's scheme index
+	Savings  float64 // S, higher is better
+	Spurious float64 // E, lower is better
+}
+
+// ParetoFront returns the indices of the non-dominated points (maximal
+// savings, minimal spurious rate), ordered by increasing spurious rate —
+// the line drawn through Fig. 11.
+func ParetoFront(points []Point) []Point {
+	front := make([]Point, 0, len(points))
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Savings >= p.Savings && q.Spurious <= p.Spurious &&
+				(q.Savings > p.Savings || q.Spurious < p.Spurious) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Spurious != front[j].Spurious {
+			return front[i].Spurious < front[j].Spurious
+		}
+		return front[i].Savings > front[j].Savings
+	})
+	// Drop duplicate positions (identical S,E from different schemes).
+	out := front[:0]
+	for i, p := range front {
+		if i == 0 || p.Savings != front[i-1].Savings || p.Spurious != front[i-1].Spurious {
+			out = append(out, p)
+		}
+	}
+	return out
+}

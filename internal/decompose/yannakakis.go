@@ -1,0 +1,201 @@
+package decompose
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// Yannakakis' algorithm is the paper's headline application of acyclic
+// schemas (Sec. 1): once a relation is decomposed by a join tree, the
+// join can be fully reduced with two semijoin sweeps and then evaluated
+// without ever producing a dangling intermediate tuple. This file
+// implements the full reducer and a reduction-based join evaluator over
+// the decomposition produced by Decompose.
+
+// Decomposition is a relation projected onto a join tree's bags.
+type Decomposition struct {
+	Tree        *schema.JoinTree
+	Projections []*relation.Relation // Projections[i] = R[Bags[i]], deduped
+}
+
+// Decompose projects r onto every bag of the schema's join tree.
+func Decompose(r *relation.Relation, s schema.Schema) (*Decomposition, error) {
+	if s.Attrs() != r.AllAttrs() {
+		return nil, fmt.Errorf("decompose: schema %v does not cover the relation", s)
+	}
+	tree, err := schema.BuildJoinTree(s)
+	if err != nil {
+		return nil, err
+	}
+	base := r.Dedup()
+	projections := make([]*relation.Relation, len(tree.Bags))
+	for i, bag := range tree.Bags {
+		projections[i] = base.Project(bag)
+	}
+	return &Decomposition{Tree: tree, Projections: projections}, nil
+}
+
+// Cells returns the storage footprint of the decomposition.
+func (d *Decomposition) Cells() int {
+	total := 0
+	for _, p := range d.Projections {
+		total += p.Cells()
+	}
+	return total
+}
+
+// FullReduce runs Yannakakis' two semijoin sweeps (leaves→root, then
+// root→leaves), removing every tuple that cannot participate in the full
+// join. It returns a new Decomposition; the receiver is unchanged. After
+// reduction, every remaining tuple of every bag appears in at least one
+// join result.
+func (d *Decomposition) FullReduce() *Decomposition {
+	tree := d.Tree
+	reduced := append([]*relation.Relation(nil), d.Projections...)
+	order, parents := tree.DepthFirstOrder()
+
+	// Bottom-up: semijoin each parent with each child.
+	for k := len(order) - 1; k >= 1; k-- {
+		u := order[k]
+		p := parents[u]
+		sep := tree.Bags[u].Intersect(tree.Bags[p])
+		reduced[p] = semijoin(reduced[p], tree.Bags[p], reduced[u], tree.Bags[u], sep)
+	}
+	// Top-down: semijoin each child with its parent.
+	for _, u := range order[1:] {
+		p := parents[u]
+		sep := tree.Bags[u].Intersect(tree.Bags[p])
+		reduced[u] = semijoin(reduced[u], tree.Bags[u], reduced[p], tree.Bags[p], sep)
+	}
+	return &Decomposition{Tree: tree, Projections: reduced}
+}
+
+// semijoin returns left ⋉ right on the shared attribute set sep, where
+// left/right are projections of a common base relation onto leftBag and
+// rightBag (so dictionary codes are comparable).
+func semijoin(left *relation.Relation, leftBag bitset.AttrSet,
+	right *relation.Relation, rightBag bitset.AttrSet, sep bitset.AttrSet) *relation.Relation {
+	if sep.IsEmpty() {
+		// Disjoint bags: the semijoin keeps everything iff right is
+		// non-empty, nothing otherwise.
+		if right.NumRows() > 0 {
+			return left
+		}
+		return left.Head(0)
+	}
+	rightCols := projColumns(rightBag, sep)
+	present := make(map[string]struct{}, right.NumRows())
+	for i := 0; i < right.NumRows(); i++ {
+		present[projKey(right, i, rightCols)] = struct{}{}
+	}
+	leftCols := projColumns(leftBag, sep)
+	var keep []int
+	for i := 0; i < left.NumRows(); i++ {
+		if _, ok := present[projKey(left, i, leftCols)]; ok {
+			keep = append(keep, i)
+		}
+	}
+	return left.SelectRows(keep)
+}
+
+// JoinSize counts |⋈ᵢ Projections[i]| on this decomposition.
+func (d *Decomposition) JoinSize() float64 {
+	return JoinSizeOnTree(d.Tree, d.Projections)
+}
+
+// Join materializes ⋈ᵢ Projections[i] with Yannakakis' algorithm: full
+// reduction first (so no dangling intermediate tuple is ever produced),
+// then pairwise joins along a depth-first order of the tree. The result
+// has the tree's attributes in increasing index order. Output size equals
+// JoinSize(); callers concerned about blow-up should check it first.
+func (d *Decomposition) Join() *relation.Relation {
+	red := d.FullReduce()
+	tree := red.Tree
+	order, _ := tree.DepthFirstOrder()
+	acc := red.Projections[order[0]]
+	accAttrs := tree.Bags[order[0]]
+	for _, u := range order[1:] {
+		acc = naturalJoin(acc, red.Projections[u])
+		accAttrs = accAttrs.Union(tree.Bags[u])
+	}
+	// Restore canonical column order (naturalJoin appends new columns).
+	want := make([]string, 0, accAttrs.Len())
+	proto := relationNames(accAttrs, d)
+	want = append(want, proto...)
+	b := relation.NewBuilder(want)
+	idx := make([]int, len(want))
+	for j, name := range want {
+		idx[j] = acc.AttrIndex(name)
+	}
+	for i := 0; i < acc.NumRows(); i++ {
+		row := make([]string, len(want))
+		for j, src := range idx {
+			row[j] = acc.Value(i, src)
+		}
+		b.AddRow(row)
+	}
+	return b.Relation().Dedup()
+}
+
+// relationNames resolves attribute names for the union of bags, using the
+// projections' column names (each projection's columns follow increasing
+// attribute index within its bag).
+func relationNames(attrs bitset.AttrSet, d *Decomposition) []string {
+	byAttr := map[int]string{}
+	for i, bag := range d.Tree.Bags {
+		pos := 0
+		proj := d.Projections[i]
+		bag.ForEach(func(a int) bool {
+			byAttr[a] = proj.Name(pos)
+			pos++
+			return true
+		})
+	}
+	out := make([]string, 0, attrs.Len())
+	attrs.ForEach(func(a int) bool {
+		out = append(out, byAttr[a])
+		return true
+	})
+	return out
+}
+
+// WriteCSVs materializes the decomposition as one CSV file per bag in
+// dir, named by the bag's attribute names joined with underscores (e.g.
+// "A_B_D.csv"). The directory must exist.
+func (d *Decomposition) WriteCSVs(dir string) error {
+	for i, proj := range d.Projections {
+		name := strings.Join(proj.Names(), "_") + ".csv"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := proj.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("decompose: writing bag %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsGloballyConsistent reports whether the decomposition equals its full
+// reduction, i.e. no projection contains a dangling tuple. A lossless
+// decomposition of a relation is always globally consistent (each
+// projected tuple extends to a full row of R).
+func (d *Decomposition) IsGloballyConsistent() bool {
+	red := d.FullReduce()
+	for i := range d.Projections {
+		if d.Projections[i].NumRows() != red.Projections[i].NumRows() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/pli"
+	"repro/internal/relation"
+)
+
+func paperR() *relation.Relation {
+	return relation.MustFromRows(
+		[]string{"A", "B", "C", "D", "E", "F"},
+		[][]string{
+			{"a1", "b1", "c1", "d1", "e1", "f1"},
+			{"a2", "b2", "c1", "d1", "e2", "f2"},
+			{"a2", "b2", "c2", "d2", "e3", "f2"},
+			{"a1", "b2", "c1", "d2", "e3", "f1"},
+		},
+	)
+}
+
+func randomRelation(rng *rand.Rand, rows, cols, domain int) *relation.Relation {
+	data := make([][]relation.Code, cols)
+	names := make([]string, cols)
+	for j := range data {
+		col := make([]relation.Code, rows)
+		for i := range col {
+			col[i] = relation.Code(rng.Intn(domain))
+		}
+		data[j] = col
+		names[j] = string(rune('A' + j))
+	}
+	r, err := relation.FromCodes(names, data)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestPaperEntropies(t *testing.T) {
+	o := New(paperR())
+	cases := []struct {
+		attrs string
+		want  float64
+	}{
+		{"ABCDEF", 2},
+		{"BDE", 1.5},
+		{"A", 1},
+		{"AD", 2},   // (a1,d1),(a2,d1),(a2,d2),(a1,d2): all distinct
+		{"BD", 1.5}, // (b1,d1),(b2,d1),(b2,d2),(b2,d2)
+		{"AF", 1},   // (a1,f1)x2, (a2,f2)x2
+	}
+	for _, c := range cases {
+		attrs, err := o.Relation().ParseAttrs(c.attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.H(attrs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("H(%s) = %v, want %v", c.attrs, got, c.want)
+		}
+	}
+}
+
+func TestHEmptyIsZero(t *testing.T) {
+	o := New(paperR())
+	if o.H(bitset.Empty()) != 0 {
+		t.Fatal("H(∅) must be 0")
+	}
+}
+
+func TestPaperJValueIsZero(t *testing.T) {
+	// Example 3.4: J(T) = H(AF)+H(ACD)+H(ABD)+H(BDE)-H(A)-H(AD)-H(BD)-H(Ω) = 0.
+	o := New(paperR())
+	at := func(s string) bitset.AttrSet {
+		a, err := o.Relation().ParseAttrs(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	j := o.H(at("AF")) + o.H(at("ACD")) + o.H(at("ABD")) + o.H(at("BDE")) -
+		o.H(at("A")) - o.H(at("AD")) - o.H(at("BD")) - o.H(at("ABCDEF"))
+	if math.Abs(j) > 1e-12 {
+		t.Fatalf("running-example J = %v, want 0", j)
+	}
+}
+
+func TestMIOnPaperExample(t *testing.T) {
+	o := New(paperR())
+	at := func(s string) bitset.AttrSet {
+		a, _ := o.Relation().ParseAttrs(s)
+		return a
+	}
+	// The three support MVDs hold exactly: I = 0.
+	if v := o.MI(at("E"), at("ACF"), at("BD")); v > 1e-12 {
+		t.Errorf("I(E;ACF|BD) = %v, want 0", v)
+	}
+	if v := o.MI(at("CF"), at("BE"), at("AD")); v > 1e-12 {
+		t.Errorf("I(CF;BE|AD) = %v, want 0", v)
+	}
+	if v := o.MI(at("F"), at("BCDE"), at("A")); v > 1e-12 {
+		t.Errorf("I(F;BCDE|A) = %v, want 0", v)
+	}
+}
+
+func TestRedTupleBreaksSupportMVD(t *testing.T) {
+	// Sec. 2: adding the red 5th row invalidates the join dependency.
+	// Direct computation shows exactly one of the three support MVDs
+	// breaks: BD ↠ E|ACF (the (b2,d2) group stops being a product), while
+	// AD ↠ CF|BE still holds ((a1,d2) has CF = {(c1,f1)}, so the group is
+	// trivially a product) and A ↠ F|BCDE holds. The paper's prose says
+	// "the first two MVDs no longer hold"; the arithmetic disagrees for
+	// AD ↠ CF|BE, and we assert the arithmetic (see EXPERIMENTS.md).
+	r := relation.MustFromRows(
+		[]string{"A", "B", "C", "D", "E", "F"},
+		[][]string{
+			{"a1", "b1", "c1", "d1", "e1", "f1"},
+			{"a2", "b2", "c1", "d1", "e2", "f2"},
+			{"a2", "b2", "c2", "d2", "e3", "f2"},
+			{"a1", "b2", "c1", "d2", "e3", "f1"},
+			{"a1", "b2", "c1", "d2", "e2", "f1"},
+		},
+	)
+	o := New(r)
+	at := func(s string) bitset.AttrSet {
+		a, _ := r.ParseAttrs(s)
+		return a
+	}
+	if v := o.MI(at("E"), at("ACF"), at("BD")); v <= 1e-12 {
+		t.Error("BD ↠ E|ACF should be broken by the red tuple")
+	}
+	if v := o.MI(at("CF"), at("BE"), at("AD")); v > 1e-12 {
+		t.Errorf("AD ↠ CF|BE holds exactly on the 5-row instance, I = %v", v)
+	}
+	if v := o.MI(at("F"), at("BCDE"), at("A")); v > 1e-12 {
+		t.Errorf("A ↠ F|BCDE should still hold, I = %v", v)
+	}
+}
+
+func TestOracleMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := randomRelation(rng, 300, 10, 3)
+	o := New(r)
+	for trial := 0; trial < 200; trial++ {
+		attrs := bitset.AttrSet(rng.Int63()) & bitset.Full(10)
+		if got, want := o.H(attrs), NaiveH(r, attrs); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("H(%v) = %v, naive %v", attrs, got, want)
+		}
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	o := New(paperR())
+	attrs := bitset.Of(0, 1, 2)
+	o.H(attrs)
+	before := o.Stats().HCached
+	o.H(attrs)
+	if o.Stats().HCached != before+1 {
+		t.Fatal("second H call should be memoized")
+	}
+}
+
+// Shannon properties on random relations: monotonicity and submodularity
+// of the empirical entropy.
+func TestQuickMonotoneSubmodular(t *testing.T) {
+	f := func(seed int64, xm, ym uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 60, 8, 2)
+		o := New(r)
+		x := bitset.AttrSet(xm) & bitset.Full(8)
+		y := bitset.AttrSet(ym) & bitset.Full(8)
+		const eps = 1e-9
+		// Monotonicity: H(X ∪ Y) >= H(X).
+		if o.H(x.Union(y)) < o.H(x)-eps {
+			return false
+		}
+		// Submodularity: H(X) + H(Y) >= H(X∪Y) + H(X∩Y).
+		return o.H(x)+o.H(y) >= o.H(x.Union(y))+o.H(x.Intersect(y))-eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Chain rule (Eq. 4): I(B;CD|A) = I(B;C|A) + I(B;D|AC).
+func TestQuickChainRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		r := randomRelation(rng, 80, 6, 2)
+		o := New(r)
+		a, b, c, d := bitset.Single(0), bitset.Single(1), bitset.Single(2), bitset.Of(3, 4)
+		lhs := o.MI(b, c.Union(d), a)
+		rhs := o.MI(b, c, a) + o.MI(b, d, a.Union(c))
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("chain rule violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestSingleRowRelation(t *testing.T) {
+	r := relation.MustFromRows([]string{"A", "B"}, [][]string{{"x", "y"}})
+	o := New(r)
+	if h := o.H(bitset.Full(2)); h != 0 {
+		t.Fatalf("single-row H = %v", h)
+	}
+	if mi := o.MI(bitset.Single(0), bitset.Single(1), bitset.Empty()); mi != 0 {
+		t.Fatalf("single-row MI = %v", mi)
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	r := relation.MustFromRows([]string{"A", "B"}, [][]string{{"k", "1"}, {"k", "2"}, {"k", "3"}})
+	o := New(r)
+	if h := o.H(bitset.Single(0)); h != 0 {
+		t.Fatalf("constant column H = %v", h)
+	}
+	if h := o.H(bitset.Full(2)); math.Abs(h-math.Log2(3)) > 1e-12 {
+		t.Fatalf("H(AB) = %v, want log2 3", h)
+	}
+}
+
+func TestCondH(t *testing.T) {
+	o := New(paperR())
+	at := func(s string) bitset.AttrSet {
+		a, _ := o.Relation().ParseAttrs(s)
+		return a
+	}
+	// H(F|A) = H(AF) - H(A) = 1 - 1 = 0: F is determined by A.
+	if v := o.CondH(at("F"), at("A")); math.Abs(v) > 1e-12 {
+		t.Fatalf("H(F|A) = %v, want 0", v)
+	}
+}
+
+func TestNewWithConfig(t *testing.T) {
+	r := paperR()
+	o := NewWithConfig(r, pli.Config{BlockSize: 2})
+	if got, want := o.H(bitset.Full(6)), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("H = %v with BlockSize 2", got)
+	}
+}

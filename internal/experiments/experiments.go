@@ -1,0 +1,147 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 8) on the synthetic analog datasets:
+//
+//	Table 2  — full-MVD mining at ε = 0 across the 20 datasets
+//	Fig. 10/11 — the Nursery use case: schemes, savings S, spurious E,
+//	             pareto front
+//	Fig. 12  — spurious-tuple rate vs J-measure, bucketed
+//	Fig. 13  — row scalability of minimal-separator mining
+//	Fig. 14  — column scalability (runtime and #minimal separators)
+//	Fig. 15  — quality of schemes vs ε (#schemes, #relations, widths)
+//	Fig. 18  — #full MVDs vs ε and generation rate
+//
+// plus the two ablations DESIGN.md calls out (pairwise-consistency
+// pruning; entropy-engine block size). Each driver prints a paper-style
+// table and returns it as a string; cmd/experiments and the root bench
+// suite are thin wrappers. Runtimes are not expected to match the paper's
+// (Java, 120-CPU machine, 5-hour limits); shapes are — see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/entropy"
+	"repro/internal/relation"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Out receives the report as it is produced; nil discards it (the
+	// report is always returned as a string too).
+	Out io.Writer
+	// Scale caps analog dataset rows (0 = the 10000 default).
+	Scale int
+	// Budget bounds each mining invocation (a scaled-down stand-in for
+	// the paper's 5-hour/30-minute limits). 0 means 5 seconds.
+	Budget time.Duration
+	// Epsilons is the threshold sweep for the ε-dependent figures
+	// (default 0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5).
+	Epsilons []float64
+}
+
+func (c Config) budget() time.Duration {
+	if c.Budget <= 0 {
+		return 5 * time.Second
+	}
+	return c.Budget
+}
+
+func (c Config) epsilons() []float64 {
+	if len(c.Epsilons) == 0 {
+		return []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	return c.Epsilons
+}
+
+// report accumulates a text table and tees it to cfg.Out.
+type report struct {
+	b   strings.Builder
+	out io.Writer
+}
+
+func newReport(out io.Writer) *report { return &report{out: out} }
+
+func (r *report) printf(format string, args ...interface{}) {
+	s := fmt.Sprintf(format, args...)
+	r.b.WriteString(s)
+	if r.out != nil {
+		io.WriteString(r.out, s)
+	}
+}
+
+func (r *report) String() string { return r.b.String() }
+
+// minerFor builds a budget-bounded miner over r; each mining phase gets
+// its own budget, as in the paper's per-phase time limits.
+func minerFor(r *relation.Relation, eps float64, budget time.Duration) *core.Miner {
+	opts := core.DefaultOptions(eps)
+	opts.Budget = budget
+	return core.NewMiner(entropy.New(r), opts)
+}
+
+// schemeStats is one mined scheme with its decomposition metrics.
+type schemeStats struct {
+	scheme  *core.Scheme
+	metrics decompose.Metrics
+}
+
+// collectSchemes mines schemes at the given ε and computes metrics for
+// each, within the budget and scheme cap.
+func collectSchemes(r *relation.Relation, eps float64, budget time.Duration, maxSchemes int) []schemeStats {
+	m := minerFor(r, eps, budget)
+	res := m.MineMVDs()
+	var out []schemeStats
+	m.EnumerateSchemes(res.MVDs, func(s *core.Scheme) bool {
+		met, err := decompose.Analyze(r, s.Schema)
+		if err == nil {
+			out = append(out, schemeStats{scheme: s, metrics: met})
+		}
+		return maxSchemes <= 0 || len(out) < maxSchemes
+	})
+	return out
+}
+
+// dedupeSchemes merges scheme collections across ε values, keeping one
+// entry per distinct schema (the lowest-J occurrence).
+func dedupeSchemes(collections ...[]schemeStats) []schemeStats {
+	best := map[string]schemeStats{}
+	for _, col := range collections {
+		for _, st := range col {
+			fp := st.scheme.Schema.Fingerprint()
+			if prev, ok := best[fp]; !ok || st.scheme.J < prev.scheme.J {
+				best[fp] = st
+			}
+		}
+	}
+	out := make([]schemeStats, 0, len(best))
+	for _, st := range best {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].scheme.J != out[j].scheme.J {
+			return out[i].scheme.J < out[j].scheme.J
+		}
+		return out[i].scheme.Schema.Fingerprint() < out[j].scheme.Schema.Fingerprint()
+	})
+	return out
+}
+
+// quantiles returns min, q25, median, q75, max of the (sorted-in-place)
+// values; zeros when empty.
+func quantiles(vals []float64) (min, q25, med, q75, max float64) {
+	if len(vals) == 0 {
+		return
+	}
+	sort.Float64s(vals)
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(vals)-1))
+		return vals[idx]
+	}
+	return vals[0], at(0.25), at(0.5), at(0.75), vals[len(vals)-1]
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg keeps experiment smoke tests fast: tiny datasets, tight
+// budgets. The full-scale runs happen in the root bench suite and
+// cmd/experiments.
+func quickCfg() Config {
+	return Config{
+		Scale:    300,
+		Budget:   300 * time.Millisecond,
+		Epsilons: []float64{0, 0.2},
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	out := Table2(quickCfg())
+	if !strings.Contains(out, "Bridges") || !strings.Contains(out, "Voter State") {
+		t.Fatalf("Table 2 output incomplete:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 22 {
+		t.Fatalf("expected 20 dataset rows plus header:\n%s", out)
+	}
+}
+
+func TestFig10NurserySmoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Budget = 2 * time.Second
+	out := Fig10Nursery(cfg)
+	if !strings.Contains(out, "Nursery use case") || !strings.Contains(out, "pareto-optimal") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	out := Fig12SpuriousVsJ(quickCfg())
+	for _, name := range []string{"Breast-Cancer", "Bridges", "Nursery", "Echocardiogram"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	out := Fig13Rows(quickCfg())
+	for _, name := range []string{"Image", "Four Square (Spots)", "Ditag Feature"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig14Smoke(t *testing.T) {
+	out := Fig14Cols(quickCfg())
+	for _, name := range []string{"Entity Source", "Voter State", "Census"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	out := Fig15Quality(quickCfg())
+	for _, name := range fig15Datasets {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig18Smoke(t *testing.T) {
+	out := Fig18FullMVDs(quickCfg())
+	for _, name := range fig18Datasets {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	out := AblationPairwiseConsistency(quickCfg())
+	if !strings.Contains(out, "pairwise-consistency") {
+		t.Fatalf("unexpected:\n%s", out)
+	}
+	out = AblationEntropyEngine(quickCfg())
+	if !strings.Contains(out, "blocked L=") || !strings.Contains(out, "direct (no cache)") {
+		t.Fatalf("unexpected:\n%s", out)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	min, q25, med, q75, max := quantiles([]float64{5, 1, 3, 2, 4})
+	if min != 1 || max != 5 || med != 3 {
+		t.Fatalf("quantiles: %v %v %v %v %v", min, q25, med, q75, max)
+	}
+	if q25 != 2 || q75 != 4 {
+		t.Fatalf("q25/q75: %v %v", q25, q75)
+	}
+	min, _, _, _, max = quantiles(nil)
+	if min != 0 || max != 0 {
+		t.Fatal("empty quantiles should be zero")
+	}
+}
+
+func TestDedupeSchemes(t *testing.T) {
+	r := relationOf("Bridges", 200)
+	a := collectSchemes(r, 0, time.Second, 20)
+	merged := dedupeSchemes(a, a)
+	if len(merged) != len(dedupeSchemes(a)) {
+		t.Fatal("self-merge changed count")
+	}
+	seen := map[string]bool{}
+	for _, st := range merged {
+		fp := st.scheme.Schema.Fingerprint()
+		if seen[fp] {
+			t.Fatal("duplicate schema after dedupe")
+		}
+		seen[fp] = true
+	}
+}

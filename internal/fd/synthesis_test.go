@@ -1,0 +1,174 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/schema"
+)
+
+func fdOf(lhs bitset.AttrSet, rhs int) FD { return FD{LHS: lhs, RHS: rhs} }
+
+func TestClosure(t *testing.T) {
+	// A→B, B→C: A⁺ = ABC.
+	fds := []FD{fdOf(bitset.Single(0), 1), fdOf(bitset.Single(1), 2)}
+	if got := Closure(bitset.Single(0), fds); got != bitset.Of(0, 1, 2) {
+		t.Fatalf("A+ = %v", got)
+	}
+	if got := Closure(bitset.Single(2), fds); got != bitset.Single(2) {
+		t.Fatalf("C+ = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	fds := []FD{fdOf(bitset.Single(0), 1), fdOf(bitset.Single(1), 2)}
+	if !Implies(fds, bitset.Single(0), 2) {
+		t.Fatal("A→C should follow by transitivity")
+	}
+	if Implies(fds, bitset.Single(2), 0) {
+		t.Fatal("C→A should not follow")
+	}
+}
+
+func TestMinimalCoverRemovesRedundant(t *testing.T) {
+	// {A→B, B→C, A→C}: A→C is redundant.
+	fds := []FD{
+		fdOf(bitset.Single(0), 1),
+		fdOf(bitset.Single(1), 2),
+		fdOf(bitset.Single(0), 2),
+	}
+	cover := MinimalCover(fds)
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v", cover)
+	}
+	// Equivalence preserved both ways.
+	for _, f := range fds {
+		if !Implies(cover, f.LHS, f.RHS) {
+			t.Fatalf("cover lost %v", f)
+		}
+	}
+}
+
+func TestMinimalCoverLeftReduces(t *testing.T) {
+	// {A→B, AB→C}: AB→C left-reduces to A→C.
+	fds := []FD{
+		fdOf(bitset.Single(0), 1),
+		fdOf(bitset.Of(0, 1), 2),
+	}
+	cover := MinimalCover(fds)
+	for _, f := range cover {
+		if f.RHS == 2 && f.LHS.Len() != 1 {
+			t.Fatalf("AB→C not left-reduced: %v", f)
+		}
+	}
+}
+
+func TestCandidateKey(t *testing.T) {
+	// A→B, B→C over ABC: key = A.
+	fds := []FD{fdOf(bitset.Single(0), 1), fdOf(bitset.Single(1), 2)}
+	if k := CandidateKey(3, fds); k != bitset.Single(0) {
+		t.Fatalf("key = %v", k)
+	}
+	// No FDs: key = everything.
+	if k := CandidateKey(3, nil); k != bitset.Full(3) {
+		t.Fatalf("key = %v", k)
+	}
+}
+
+func TestSynthesize3NFChain(t *testing.T) {
+	// A→B, B→C yields {AB, BC}; A is a key contained in AB.
+	fds := []FD{fdOf(bitset.Single(0), 1), fdOf(bitset.Single(1), 2)}
+	s := Synthesize3NF(3, fds)
+	want := schema.MustNew(bitset.Of(0, 1), bitset.Of(1, 2))
+	if !s.Equal(want) {
+		t.Fatalf("got %v, want %v", s, want)
+	}
+	if !s.IsAcyclic() {
+		t.Fatal("chain synthesis should be acyclic")
+	}
+}
+
+func TestSynthesize3NFAddsKeyRelation(t *testing.T) {
+	// Only C→D over ABCD: groups give {CD}; key = ABC; key relation added
+	// and free attributes covered.
+	fds := []FD{fdOf(bitset.Single(2), 3)}
+	s := Synthesize3NF(4, fds)
+	if s.Attrs() != bitset.Full(4) {
+		t.Fatalf("schema %v does not cover the signature", s)
+	}
+	key := CandidateKey(4, fds)
+	found := false
+	for _, rel := range s.Relations {
+		if key.SubsetOf(rel) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no relation contains the key %v: %v", key, s)
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	s := Synthesize3NF(3, nil)
+	if s.M() != 1 || s.Relations[0] != bitset.Full(3) {
+		t.Fatalf("got %v, want the universal relation", s)
+	}
+}
+
+func TestSynthesizedSchemaIsLossless(t *testing.T) {
+	// On data generated with a functional chain, the synthesized schema
+	// must be a lossless decomposition: J(S) = 0 when acyclic.
+	r := datagen.FunctionalChain(500, 4, 5, 0, 21)
+	res := NewMiner(r, Options{}).Mine()
+	s := Synthesize3NF(r.NumCols(), res.FDs)
+	if !s.IsAcyclic() {
+		t.Skipf("synthesis produced a cyclic schema %v; losslessness untestable via J", s)
+	}
+	j, err := info.JSchema(entropy.New(r), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j > 1e-9 {
+		t.Fatalf("synthesized schema %v has J = %v on its own data", s, j)
+	}
+}
+
+func TestQuickMinimalCoverEquivalence(t *testing.T) {
+	// Random FD sets: the cover must be equivalent to the original.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(3)
+		var fds []FD
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			lhs := bitset.AttrSet(rng.Int63()) & bitset.Full(n)
+			rhs := rng.Intn(n)
+			lhs = lhs.Remove(rhs)
+			if lhs.IsEmpty() {
+				continue
+			}
+			fds = append(fds, fdOf(lhs, rhs))
+		}
+		cover := MinimalCover(fds)
+		for _, f := range fds {
+			if !Implies(cover, f.LHS, f.RHS) {
+				t.Fatalf("trial %d: cover %v lost %v", trial, cover, f)
+			}
+		}
+		for _, f := range cover {
+			if !Implies(fds, f.LHS, f.RHS) {
+				t.Fatalf("trial %d: cover %v invented %v", trial, cover, f)
+			}
+		}
+		// Every cover FD is non-redundant.
+		for i := range cover {
+			rest := append(append([]FD{}, cover[:i]...), cover[i+1:]...)
+			if Implies(rest, cover[i].LHS, cover[i].RHS) {
+				t.Fatalf("trial %d: redundant FD %v in cover", trial, cover[i])
+			}
+		}
+	}
+}

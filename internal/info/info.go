@@ -1,0 +1,117 @@
+// Package info computes the information-theoretic J-measures that define
+// approximation in Maimon (paper Secs. 3.2-5): J of an MVD, of a join tree
+// (Eq. 6), and of an acyclic schema (J depends only on the schema, Lee).
+// Values are in bits; J = 0 iff the corresponding dependency holds exactly
+// (Lee's theorem, Thm. 3.3).
+package info
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/entropy"
+	"repro/internal/mvd"
+	"repro/internal/schema"
+)
+
+// Tol absorbs floating-point cancellation in entropy arithmetic: empirical
+// entropies are sums of k·log2(k) terms whose differences carry ~1e-16
+// noise, so exact-threshold comparisons (J ≤ ε with ε = 0) would be
+// unstable without it. Every threshold test in the library goes through
+// LeqEps so miners and brute-force baselines agree on borderline values.
+const Tol = 1e-9
+
+// LeqEps reports j ≤ eps up to Tol.
+func LeqEps(j, eps float64) bool { return j <= eps+Tol }
+
+// JMVD returns
+//
+//	J(X ↠ Y1|…|Ym) = Σ H(XYi) − (m−1)·H(X) − H(XY1…Ym)
+//
+// For m = 2 this equals I(Y1;Y2|X). The result is clamped at 0 to absorb
+// floating-point cancellation; J is a Shannon inequality and never truly
+// negative.
+func JMVD(o *entropy.Oracle, m mvd.MVD) float64 {
+	sum := 0.0
+	all := m.Key
+	for _, d := range m.Deps {
+		sum += o.H(m.Key.Union(d))
+		all = all.Union(d)
+	}
+	v := sum - float64(len(m.Deps)-1)*o.H(m.Key) - o.H(all)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// JStandard returns J(X ↠ Y|Z) = I(Y;Z|X) without constructing an MVD
+// value; y and z need not cover Ω.
+func JStandard(o *entropy.Oracle, x, y, z bitset.AttrSet) float64 {
+	return o.MI(y.Diff(x), z.Diff(x), x)
+}
+
+// JTree returns Lee's measure of a join tree (Eq. 6):
+//
+//	J(T) = Σ_v H(χ(v)) − Σ_(u,v) H(χ(u)∩χ(v)) − H(χ(T))
+func JTree(o *entropy.Oracle, t *schema.JoinTree) float64 {
+	v := 0.0
+	for _, bag := range t.Bags {
+		v += o.H(bag)
+	}
+	for _, e := range t.Edges {
+		v -= o.H(t.Bags[e[0]].Intersect(t.Bags[e[1]]))
+	}
+	v -= o.H(t.Attrs())
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// JSchema returns J(S) for an acyclic schema by constructing any join tree
+// (Lee proved J is independent of the choice). It errors when the schema
+// is not acyclic.
+func JSchema(o *entropy.Oracle, s schema.Schema) (float64, error) {
+	t, err := schema.BuildJoinTree(s)
+	if err != nil {
+		return 0, fmt.Errorf("info: J undefined: %w", err)
+	}
+	return JTree(o, t), nil
+}
+
+// TreeMISum evaluates the right-hand side of the identity (9) of Thm. 5.1:
+//
+//	J(T) = Σ_{i=2..m} I(Ω_{1:(i-1)} ; Ω_i | Δ_i)
+//
+// over the tree's depth-first order. Tests assert it equals JTree.
+func TreeMISum(o *entropy.Oracle, t *schema.JoinTree) float64 {
+	order, parents := t.DepthFirstOrder()
+	var prefix bitset.AttrSet
+	sum := 0.0
+	for k, u := range order {
+		if k == 0 {
+			prefix = t.Bags[u]
+			continue
+		}
+		delta := t.Bags[u].Intersect(t.Bags[parents[u]])
+		sum += o.MI(prefix.Diff(delta), t.Bags[u].Diff(delta), delta)
+		prefix = prefix.Union(t.Bags[u])
+	}
+	return sum
+}
+
+// SupportMVDBound evaluates max and sum of J over the support MVDs of the
+// tree — the two sides of the Shannon inequality (10) of Thm. 5.1:
+//
+//	max_i J(ϕ_i)  ≤  J(T)  ≤  Σ_i J(ϕ_i)
+func SupportMVDBound(o *entropy.Oracle, t *schema.JoinTree) (max, sum float64) {
+	for _, m := range t.Support() {
+		j := JMVD(o, m)
+		if j > max {
+			max = j
+		}
+		sum += j
+	}
+	return max, sum
+}

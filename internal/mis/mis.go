@@ -1,0 +1,334 @@
+// Package mis enumerates the maximal independent sets of an undirected
+// graph, the engine behind ASMiner (paper Sec. 7): maximal sets of
+// pairwise-compatible MVDs are exactly the maximal independent sets of the
+// incompatibility graph (Eq. 15).
+//
+// Two enumerators are provided:
+//
+//   - EnumerateBK: Bron–Kerbosch with pivoting run on the complement graph
+//     (maximal independent sets of G = maximal cliques of Ḡ). Output-
+//     sensitive and very fast in practice; the default engine.
+//   - EnumerateJPY: the Johnson–Papadimitriou–Yannakakis / Cohen-Kimelfeld-
+//     Sagiv scheme the paper cites ([11, 22], Thm. 7.3): starting from the
+//     lexicographically first maximal independent set, repeatedly extend
+//     seeds (S \ N(v)) ∪ {v} and re-maximalize, popping candidates in
+//     lexicographic order from a priority queue. Polynomial delay
+//     (O(|V|³) per output) at the cost of keeping discovered sets.
+//
+// Both invoke a callback per set and stop early when it returns false.
+package mis
+
+import (
+	"container/heap"
+	"math/bits"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1.
+type Graph struct {
+	n   int
+	adj []words // adjacency bitsets, self-loops never set
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]words, n)}
+	for i := range g.adj {
+		g.adj[i] = newWords(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u].set(v)
+	g.adj[v].set(u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u].has(v) }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return g.adj[v].count() }
+
+// EnumerateBK enumerates all maximal independent sets, invoking emit for
+// each (vertices sorted ascending). Enumeration stops early if emit
+// returns false. The empty graph has exactly one maximal independent set,
+// the empty set (so ASMiner still yields the trivial schema {Ω} when no
+// MVDs were mined, matching the paper's Fig. 10(a)).
+func (g *Graph) EnumerateBK(emit func(set []int) bool) {
+	if g.n == 0 {
+		emit([]int{})
+		return
+	}
+	p := newWords(g.n)
+	for v := 0; v < g.n; v++ {
+		p.set(v)
+	}
+	x := newWords(g.n)
+	var r []int
+	g.bk(r, p, x, emit)
+}
+
+// bk is Bron–Kerbosch with pivot over the complement graph, expressed with
+// original-graph adjacency: the complement neighborhood of v within a set
+// S is S \ N(v) \ {v}.
+func (g *Graph) bk(r []int, p, x words, emit func([]int) bool) bool {
+	if p.empty() && x.empty() {
+		out := append([]int(nil), r...)
+		sort.Ints(out)
+		return emit(out)
+	}
+	// Pivot: u ∈ P∪X maximizing |P ∩ N̄(u)| = |P \ N(u) \ {u}|.
+	pivot, best := -1, -1
+	consider := func(u int) {
+		cnt := p.diffCount(g.adj[u], u)
+		if cnt > best {
+			best, pivot = cnt, u
+		}
+	}
+	p.forEach(consider)
+	x.forEach(consider)
+	// Candidates: P \ N̄(pivot) = P ∩ (N(pivot) ∪ {pivot}).
+	cands := p.clone()
+	cands.and(g.adj[pivot])
+	if p.has(pivot) {
+		cands.set(pivot)
+	}
+	cont := true
+	cands.forEach(func(v int) {
+		if !cont {
+			return
+		}
+		// Recurse on R+v, P ∩ N̄(v), X ∩ N̄(v).
+		np := p.clone()
+		np.andNot(g.adj[v])
+		np.clear(v)
+		nx := x.clone()
+		nx.andNot(g.adj[v])
+		nx.clear(v)
+		if !g.bk(append(r, v), np, nx, emit) {
+			cont = false
+			return
+		}
+		p.clear(v)
+		x.set(v)
+	})
+	return cont
+}
+
+// Maximalize greedily extends the independent set seed (which must itself
+// be independent) to a maximal one, adding eligible vertices in increasing
+// order — the lexicographic completion used by EnumerateJPY.
+func (g *Graph) Maximalize(seed words) words {
+	s := seed.clone()
+	blocked := newWords(g.n)
+	s.forEach(func(v int) { blocked.or(g.adj[v]) })
+	for v := 0; v < g.n; v++ {
+		if !s.has(v) && !blocked.has(v) {
+			s.set(v)
+			blocked.or(g.adj[v])
+		}
+	}
+	return s
+}
+
+// EnumerateJPY enumerates maximal independent sets with the queue-based
+// polynomial-delay scheme of [11, 22]. Memory grows with the number of
+// sets discovered; prefer EnumerateBK unless delay bounds matter.
+func (g *Graph) EnumerateJPY(emit func(set []int) bool) {
+	if g.n == 0 {
+		emit([]int{})
+		return
+	}
+	first := g.Maximalize(newWords(g.n))
+	seen := map[string]bool{first.key(): true}
+	pq := &wordsHeap{first}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		s := heap.Pop(pq).(words)
+		if !emit(s.toSlice()) {
+			return
+		}
+		// Children: for each v ∉ S, drop v's neighbors from S, add v,
+		// re-maximalize lexicographically.
+		for v := 0; v < g.n; v++ {
+			if s.has(v) {
+				continue
+			}
+			seed := s.clone()
+			seed.andNot(g.adj[v])
+			seed.set(v)
+			t := g.Maximalize(seed)
+			k := t.key()
+			if !seen[k] {
+				seen[k] = true
+				heap.Push(pq, t)
+			}
+		}
+	}
+}
+
+// IsIndependent reports whether the given vertex set is independent.
+func (g *Graph) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether set is independent and no vertex
+// can be added while keeping independence.
+func (g *Graph) IsMaximalIndependent(set []int) bool {
+	if !g.IsIndependent(set) {
+		return false
+	}
+	in := newWords(g.n)
+	for _, v := range set {
+		in.set(v)
+	}
+	for v := 0; v < g.n; v++ {
+		if in.has(v) {
+			continue
+		}
+		ok := true
+		for _, u := range set {
+			if g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return false
+		}
+	}
+	return true
+}
+
+// words is a fixed-capacity dynamic bitset (the graph may have far more
+// than 64 vertices: one vertex per mined MVD).
+type words []uint64
+
+func newWords(n int) words { return make(words, (n+63)/64) }
+
+func (w words) set(i int)      { w[i/64] |= 1 << uint(i%64) }
+func (w words) clear(i int)    { w[i/64] &^= 1 << uint(i%64) }
+func (w words) has(i int) bool { return w[i/64]&(1<<uint(i%64)) != 0 }
+
+func (w words) empty() bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (w words) count() int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+func (w words) clone() words {
+	out := make(words, len(w))
+	copy(out, w)
+	return out
+}
+
+func (w words) and(o words) {
+	for i := range w {
+		w[i] &= o[i]
+	}
+}
+
+func (w words) or(o words) {
+	for i := range w {
+		w[i] |= o[i]
+	}
+}
+
+func (w words) andNot(o words) {
+	for i := range w {
+		w[i] &^= o[i]
+	}
+}
+
+// diffCount returns |w \ o \ {skip}|.
+func (w words) diffCount(o words, skip int) int {
+	c := 0
+	for i := range w {
+		c += bits.OnesCount64(w[i] &^ o[i])
+	}
+	if w.has(skip) && !o.has(skip) {
+		c--
+	}
+	return c
+}
+
+func (w words) forEach(f func(i int)) {
+	for wi, x := range w {
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			f(wi*64 + b)
+			x &^= 1 << uint(b)
+		}
+	}
+}
+
+func (w words) toSlice() []int {
+	out := make([]int, 0, w.count())
+	w.forEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+func (w words) key() string {
+	b := make([]byte, 8*len(w))
+	for i, x := range w {
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(x >> (8 * k))
+		}
+	}
+	return string(b)
+}
+
+// less orders bitsets by their vertex sequences lexicographically
+// (smallest-first); used by the JPY priority queue.
+func (w words) less(o words) bool {
+	// Compare as sorted vertex lists: the set whose smallest differing
+	// element is present wins.
+	for i := range w {
+		if w[i] != o[i] {
+			diff := w[i] ^ o[i]
+			low := uint64(1) << uint(bits.TrailingZeros64(diff))
+			return w[i]&low != 0
+		}
+	}
+	return false
+}
+
+type wordsHeap []words
+
+func (h wordsHeap) Len() int            { return len(h) }
+func (h wordsHeap) Less(i, j int) bool  { return h[i].less(h[j]) }
+func (h wordsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wordsHeap) Push(x interface{}) { *h = append(*h, x.(words)) }
+func (h *wordsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

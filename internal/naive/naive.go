@@ -1,0 +1,179 @@
+// Package naive provides brute-force reference implementations of the
+// mining primitives: exhaustive enumeration of separators, full MVDs, and
+// standard MVDs by direct evaluation of their J-measures.
+//
+// These are the baselines the paper's algorithms improve on — the O(3^n)
+// standard-MVD space of Sec. 5.2 — and the ground truth that the property
+// tests compare MVDMiner against on small relations. Everything here is
+// exponential in the number of attributes; callers keep n small.
+package naive
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/mvd"
+	"repro/internal/schema"
+)
+
+// Separates reports whether key admits any ε-MVD separating a and b, by
+// trying every bipartition of the remaining attributes (Def. 5.5 applied
+// to standard MVDs; multi-dependent MVDs never separate more cheaply, by
+// Prop. 5.2).
+func Separates(o *entropy.Oracle, key bitset.AttrSet, a, b int, eps float64) bool {
+	n := o.NumAttrs()
+	rest := bitset.Full(n).Diff(key).Remove(a).Remove(b)
+	found := false
+	rest.Subsets(func(sub bitset.AttrSet) bool {
+		y := sub.Add(a)
+		z := rest.Diff(sub).Add(b)
+		if info.LeqEps(o.MI(y, z, key), eps) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MinSeps enumerates all minimal a,b-separators by scanning every subset
+// of Ω \ {a,b} (reference for Thm. 6.2).
+func MinSeps(o *entropy.Oracle, a, b int, eps float64) []bitset.AttrSet {
+	n := o.NumAttrs()
+	universe := bitset.Full(n).Remove(a).Remove(b)
+	var seps []bitset.AttrSet
+	universe.Subsets(func(x bitset.AttrSet) bool {
+		if Separates(o, x, a, b, eps) {
+			seps = append(seps, x)
+		}
+		return true
+	})
+	var out []bitset.AttrSet
+	for _, x := range seps {
+		minimal := true
+		for _, y := range seps {
+			if y.ProperSubsetOf(x) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, x)
+		}
+	}
+	bitset.SortSets(out)
+	return out
+}
+
+// partitions enumerates all set partitions of the given elements, calling
+// f with each partition (blocks share backing arrays only within a call).
+func partitions(elems []int, f func(blocks []bitset.AttrSet) bool) {
+	var blocks []bitset.AttrSet
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(elems) {
+			return f(blocks)
+		}
+		for bi := range blocks {
+			blocks[bi] = blocks[bi].Add(elems[i])
+			if !rec(i + 1) {
+				return false
+			}
+			blocks[bi] = blocks[bi].Remove(elems[i])
+		}
+		blocks = append(blocks, bitset.Single(elems[i]))
+		ok := rec(i + 1)
+		blocks = blocks[:len(blocks)-1]
+		return ok
+	}
+	rec(0)
+}
+
+// FullMVDs enumerates FullMVDε(R, key, a, b) by brute force: all
+// partitions of Ω \ key into ≥ 2 blocks that separate a and b, hold at ε,
+// and are refinement-maximal among holders.
+func FullMVDs(o *entropy.Oracle, key bitset.AttrSet, a, b int, eps float64) []mvd.MVD {
+	n := o.NumAttrs()
+	rest := bitset.Full(n).Diff(key)
+	if rest.Len() < 2 {
+		return nil
+	}
+	var holders []mvd.MVD
+	partitions(rest.Indices(), func(blocks []bitset.AttrSet) bool {
+		if len(blocks) < 2 {
+			return true
+		}
+		deps := append([]bitset.AttrSet(nil), blocks...)
+		m, err := mvd.New(key, deps)
+		if err != nil {
+			return true
+		}
+		if !m.Separates(a, b) {
+			return true
+		}
+		if info.LeqEps(info.JMVD(o, m), eps) {
+			holders = append(holders, m)
+		}
+		return true
+	})
+	var out []mvd.MVD
+	for i, phi := range holders {
+		full := true
+		for j, psi := range holders {
+			if i != j && psi.StrictlyRefines(phi) {
+				full = false
+				break
+			}
+		}
+		if full {
+			out = append(out, phi)
+		}
+	}
+	mvd.Sort(out)
+	return out
+}
+
+// StandardMVDs enumerates every standard ε-MVD X ↠ Y|Z over the oracle's
+// relation — the O(3^n) space the paper's Sec. 5.2 counts. Y is taken to
+// contain the smallest free attribute to avoid double-counting X ↠ Z|Y.
+func StandardMVDs(o *entropy.Oracle, eps float64) []mvd.MVD {
+	n := o.NumAttrs()
+	full := bitset.Full(n)
+	var out []mvd.MVD
+	full.Subsets(func(x bitset.AttrSet) bool {
+		rest := full.Diff(x)
+		if rest.Len() < 2 {
+			return true
+		}
+		lo := rest.Min()
+		inner := rest.Remove(lo)
+		inner.Subsets(func(sub bitset.AttrSet) bool {
+			y := sub.Add(lo)
+			z := rest.Diff(y)
+			if z.IsEmpty() {
+				return true
+			}
+			if info.LeqEps(o.MI(y, z, x), eps) {
+				out = append(out, mvd.MustNew(x, y, z))
+			}
+			return true
+		})
+		return true
+	})
+	mvd.Sort(out)
+	return out
+}
+
+// SchemaHolds reports whether the acyclic schema over the given relations
+// has J ≤ eps — a convenience wrapper used by baseline comparisons.
+func SchemaHolds(o *entropy.Oracle, relations []bitset.AttrSet, eps float64) (bool, error) {
+	s, err := schema.New(relations)
+	if err != nil {
+		return false, err
+	}
+	j, err := info.JSchema(o, s)
+	if err != nil {
+		return false, err
+	}
+	return info.LeqEps(j, eps), nil
+}

@@ -1,0 +1,187 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/relation"
+)
+
+func paperR() *relation.Relation {
+	return relation.MustFromRows(
+		[]string{"A", "B", "C", "D", "E", "F"},
+		[][]string{
+			{"a1", "b1", "c1", "d1", "e1", "f1"},
+			{"a2", "b2", "c1", "d1", "e2", "f2"},
+			{"a2", "b2", "c2", "d2", "e3", "f2"},
+			{"a1", "b2", "c1", "d2", "e3", "f1"},
+		},
+	)
+}
+
+func randomRelation(rng *rand.Rand, rows, cols, domain int) *relation.Relation {
+	data := make([][]relation.Code, cols)
+	names := make([]string, cols)
+	for j := range data {
+		col := make([]relation.Code, rows)
+		for i := range col {
+			col[i] = relation.Code(rng.Intn(domain))
+		}
+		data[j] = col
+		names[j] = string(rune('A' + j))
+	}
+	r, err := relation.FromCodes(names, data)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestSeparatesPaperExample(t *testing.T) {
+	o := entropy.New(paperR())
+	bd, _ := bitset.Parse("BD")
+	// BD separates E (4) from A (0): BD ↠ E|ACF holds.
+	if !Separates(o, bd, 4, 0, 0) {
+		t.Fatal("BD should separate E,A")
+	}
+	// Nothing separates B from D at ε=0 with empty key... check ∅: they
+	// are correlated (I(B;D) > 0).
+	if Separates(o, bitset.Empty(), 1, 3, 0) {
+		t.Fatal("∅ should not separate B,D exactly")
+	}
+}
+
+func TestMinSepsAreMinimalAndSeparate(t *testing.T) {
+	o := entropy.New(paperR())
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for _, eps := range []float64{0, 0.5} {
+				seps := MinSeps(o, a, b, eps)
+				for _, s := range seps {
+					if !Separates(o, s, a, b, eps) {
+						t.Fatalf("sep %v does not separate (%d,%d)", s, a, b)
+					}
+					s.ForEach(func(i int) bool {
+						if Separates(o, s.Remove(i), a, b, eps) {
+							t.Fatalf("sep %v not minimal for (%d,%d)", s, a, b)
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestFullMVDsAreFullAndSeparating(t *testing.T) {
+	o := entropy.New(paperR())
+	key, _ := bitset.Parse("BD")
+	fulls := FullMVDs(o, key, 4, 0, 0)
+	if len(fulls) == 0 {
+		t.Fatal("expected at least one full MVD with key BD")
+	}
+	for _, phi := range fulls {
+		if !phi.Separates(4, 0) {
+			t.Fatalf("%v does not separate", phi)
+		}
+		if j := info.JMVD(o, phi); j > 1e-9 {
+			t.Fatalf("%v has J=%v", phi, j)
+		}
+	}
+	// At ε=0 there is at most one full MVD per key (Beeri; Lemma 5.4).
+	if len(fulls) != 1 {
+		t.Fatalf("exact case must have a unique full MVD, got %v", fulls)
+	}
+}
+
+func TestExactFullMVDUniqueProperty(t *testing.T) {
+	// Lemma 5.4 consequence across random relations: |FullMVD₀| ≤ 1.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		r := randomRelation(rng, 30, 5, 2)
+		o := entropy.New(r)
+		key := bitset.Single(rng.Intn(5))
+		a, b := -1, -1
+		for i := 0; i < 5; i++ {
+			if !key.Contains(i) {
+				if a < 0 {
+					a = i
+				} else if b < 0 {
+					b = i
+				}
+			}
+		}
+		fulls := FullMVDs(o, key, a, b, 0)
+		if len(fulls) > 1 {
+			t.Fatalf("trial %d: %d exact full MVDs with key %v: %v", trial, len(fulls), key, fulls)
+		}
+	}
+}
+
+func TestStandardMVDsCount(t *testing.T) {
+	// On the 2-tuple Sec. 5.2 relation at ε=1, X↠AB|C etc. hold.
+	r := relation.MustFromRows(
+		[]string{"X", "A", "B", "C"},
+		[][]string{{"0", "0", "0", "0"}, {"0", "1", "1", "1"}},
+	)
+	o := entropy.New(r)
+	ms := StandardMVDs(o, 1)
+	// Every returned MVD must satisfy the threshold.
+	for _, m := range ms {
+		if j := info.JMVD(o, m); j > 1+1e-9 {
+			t.Fatalf("%v exceeds ε=1 with J=%v", m, j)
+		}
+	}
+	if len(ms) == 0 {
+		t.Fatal("expected some 1-MVDs")
+	}
+}
+
+func TestSchemaHolds(t *testing.T) {
+	o := entropy.New(paperR())
+	abd, _ := bitset.Parse("ABD")
+	acd, _ := bitset.Parse("ACD")
+	bde, _ := bitset.Parse("BDE")
+	af, _ := bitset.Parse("AF")
+	ok, err := SchemaHolds(o, []bitset.AttrSet{abd, acd, bde, af}, 0)
+	if err != nil || !ok {
+		t.Fatalf("paper schema should hold exactly: %v %v", ok, err)
+	}
+	ab, _ := bitset.Parse("AB")
+	bc, _ := bitset.Parse("BC")
+	ca, _ := bitset.Parse("CA")
+	if _, err := SchemaHolds(o, []bitset.AttrSet{ab, bc, ca}, 0); err == nil {
+		t.Fatal("cyclic schema accepted")
+	}
+}
+
+func TestThm57WitnessOnRunningExample(t *testing.T) {
+	// For every standard ε-MVD X↠Y|Z and every pair a∈Y, b∈Z, some
+	// minimal (a,b)-separator is contained in X — the witness Thm. 5.7's
+	// derivation uses. Holds at every threshold by Def. 5.5.
+	o := entropy.New(paperR())
+	for _, eps := range []float64{0, 0.3} {
+		for _, m := range StandardMVDs(o, eps) {
+			y, z := m.Deps[0], m.Deps[1]
+			y.ForEach(func(a int) bool {
+				z.ForEach(func(b int) bool {
+					found := false
+					for _, s := range MinSeps(o, a, b, eps) {
+						if s.SubsetOf(m.Key) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("ε=%v MVD %v: no minimal (%d,%d)-separator inside key", eps, m, a, b)
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+}

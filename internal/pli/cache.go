@@ -1,0 +1,154 @@
+package pli
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/relation"
+)
+
+// Stats counts the work a Cache has done; the experiments report these to
+// show the effect of the Sec. 6.3 design.
+type Stats struct {
+	Hits       int // cache hits on multi-attribute partitions
+	Misses     int // partitions that had to be computed
+	Intersects int // pairwise partition intersections performed
+	Entries    int // partitions currently cached
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// BlockSize is the paper's L (Sec. 6.3): attributes are split into
+	// ⌈n/L⌉ blocks and partitions are assembled blockwise. Default 10.
+	BlockSize int
+	// MaxEntries caps the number of cached partitions. Once reached, new
+	// partitions are still computed but not retained (single-attribute
+	// partitions are always retained). <= 0 means unlimited.
+	MaxEntries int
+}
+
+// DefaultConfig mirrors the paper's implementation choices.
+func DefaultConfig() Config { return Config{BlockSize: 10, MaxEntries: 0} }
+
+// Cache computes and memoizes stripped partitions for attribute sets of a
+// fixed relation. It is the library's equivalent of the paper's PLI cache
+// of CNT/TID tables, with the blockwise assembly of Sec. 6.3.
+//
+// Cache is not safe for concurrent use; miners are single-threaded as in
+// the paper.
+type Cache struct {
+	rel    *relation.Relation
+	cfg    Config
+	blocks []bitset.AttrSet
+	parts  map[bitset.AttrSet]*Partition
+	stats  Stats
+}
+
+// NewCache builds a cache over r with the given configuration and
+// precomputes the single-attribute partitions.
+func NewCache(r *relation.Relation, cfg Config) *Cache {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 10
+	}
+	n := r.NumCols()
+	c := &Cache{
+		rel:   r,
+		cfg:   cfg,
+		parts: make(map[bitset.AttrSet]*Partition, 2*n),
+	}
+	for start := 0; start < n; start += cfg.BlockSize {
+		end := start + cfg.BlockSize
+		if end > n {
+			end = n
+		}
+		var b bitset.AttrSet
+		for j := start; j < end; j++ {
+			b = b.Add(j)
+		}
+		c.blocks = append(c.blocks, b)
+	}
+	for j := 0; j < n; j++ {
+		c.parts[bitset.Single(j)] = SingleAttribute(r, j)
+	}
+	c.stats.Entries = len(c.parts)
+	return c
+}
+
+// Relation returns the relation the cache serves.
+func (c *Cache) Relation() *relation.Relation { return c.rel }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Get returns the stripped partition for attrs, computing and caching it
+// if needed.
+func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
+	if p, ok := c.parts[attrs]; ok {
+		if attrs.Len() > 1 {
+			c.stats.Hits++
+		}
+		return p
+	}
+	c.stats.Misses++
+	p := c.compute(attrs)
+	c.store(attrs, p)
+	return p
+}
+
+// compute assembles the partition for attrs blockwise: first within each
+// block (attribute by attribute, caching prefixes), then across blocks.
+func (c *Cache) compute(attrs bitset.AttrSet) *Partition {
+	if attrs.IsEmpty() {
+		return FromAttrs(c.rel, attrs)
+	}
+	var acc *Partition
+	var accSet bitset.AttrSet
+	for _, b := range c.blocks {
+		piece := attrs.Intersect(b)
+		if piece.IsEmpty() {
+			continue
+		}
+		pp := c.blockPartition(piece)
+		if acc == nil {
+			acc, accSet = pp, piece
+			continue
+		}
+		accSet = accSet.Union(piece)
+		acc = c.intersect(acc, pp)
+		c.store(accSet, acc)
+	}
+	return acc
+}
+
+// blockPartition computes the partition of a within-block attribute set by
+// peeling one attribute at a time, caching every intermediate subset. This
+// realizes the paper's per-block precomputation lazily: only subsets that
+// are actually requested get materialized.
+func (c *Cache) blockPartition(piece bitset.AttrSet) *Partition {
+	if p, ok := c.parts[piece]; ok {
+		return p
+	}
+	hi := piece.Max()
+	rest := piece.Remove(hi)
+	restPart := c.blockPartition(rest)
+	single := c.parts[bitset.Single(hi)]
+	p := c.intersect(restPart, single)
+	c.store(piece, p)
+	return p
+}
+
+func (c *Cache) intersect(p, q *Partition) *Partition {
+	c.stats.Intersects++
+	return Intersect(p, q)
+}
+
+// store caches p under attrs, respecting the MaxEntries cap (single
+// attributes were cached at construction and never evicted).
+func (c *Cache) store(attrs bitset.AttrSet, p *Partition) {
+	if _, ok := c.parts[attrs]; ok {
+		return
+	}
+	if c.cfg.MaxEntries > 0 && len(c.parts) >= c.cfg.MaxEntries {
+		return
+	}
+	c.parts[attrs] = p
+	c.stats.Entries = len(c.parts)
+}

@@ -1,0 +1,221 @@
+// Package pli implements position list indices (stripped partitions) and
+// their intersection, the engine behind Maimon's getEntropyR (Sec. 6.3).
+//
+// The paper reduces entropy computation to main-memory SQL over two table
+// families, CNT (distinct value -> frequency, frequencies of 1 pruned) and
+// TID (distinct value -> row ids of its occurrences). A stripped partition
+// is exactly that structure: the equivalence classes of rows that agree on
+// an attribute set, with singleton classes removed. Intersecting the
+// partitions of α and β — grouping the row ids of each class of α by their
+// class in β — is the paper's join-group-by query, and singleton pruning is
+// what keeps the structures small as attribute sets grow.
+package pli
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/relation"
+)
+
+// Partition is a stripped partition of the rows of a relation: the
+// equivalence classes (by equality on some attribute set) that contain at
+// least two rows. Classes and the ids inside each class are kept sorted so
+// partitions have a canonical form.
+type Partition struct {
+	n        int       // number of rows in the underlying relation
+	clusters [][]int32 // each of size >= 2
+	probe    []int32   // lazy: row -> cluster index, -1 for stripped singletons
+}
+
+// NumRows returns the number of rows of the underlying relation.
+func (p *Partition) NumRows() int { return p.n }
+
+// NumClusters returns the number of (non-singleton) equivalence classes.
+func (p *Partition) NumClusters() int { return len(p.clusters) }
+
+// Clusters exposes the equivalence classes; callers must not modify them.
+func (p *Partition) Clusters() [][]int32 { return p.clusters }
+
+// Size returns the total number of row ids stored — the ||π|| measure that
+// governs intersection cost. Singleton pruning makes this shrink as
+// attribute sets grow.
+func (p *Partition) Size() int {
+	total := 0
+	for _, c := range p.clusters {
+		total += len(c)
+	}
+	return total
+}
+
+// Probe returns (building lazily) the row -> cluster-index map, with -1
+// marking rows in stripped singleton classes.
+func (p *Partition) Probe() []int32 {
+	if p.probe == nil {
+		probe := make([]int32, p.n)
+		for i := range probe {
+			probe[i] = -1
+		}
+		for ci, c := range p.clusters {
+			for _, tid := range c {
+				probe[tid] = int32(ci)
+			}
+		}
+		p.probe = probe
+	}
+	return p.probe
+}
+
+// Entropy returns the empirical entropy (in bits) of the attribute set this
+// partition represents, per Eq. (5):
+//
+//	H = log2 N − (1/N) Σ_classes |c|·log2|c|
+//
+// Stripped singletons contribute 0 to the sum, which is why they can be
+// pruned.
+func (p *Partition) Entropy() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range p.clusters {
+		k := float64(len(c))
+		sum += k * math.Log2(k)
+	}
+	return math.Log2(float64(p.n)) - sum/float64(p.n)
+}
+
+// SingleAttribute builds the stripped partition of column j of r.
+func SingleAttribute(r *relation.Relation, j int) *Partition {
+	col := r.Column(j)
+	dom := r.DomainSize(j)
+	counts := make([]int32, dom)
+	for _, c := range col {
+		counts[c]++
+	}
+	// Assign cluster slots only to codes with count >= 2.
+	slot := make([]int32, dom)
+	nc := 0
+	for code, cnt := range counts {
+		if cnt >= 2 {
+			slot[code] = int32(nc)
+			nc++
+		} else {
+			slot[code] = -1
+		}
+	}
+	clusters := make([][]int32, nc)
+	for code, cnt := range counts {
+		if cnt >= 2 {
+			clusters[slot[code]] = make([]int32, 0, cnt)
+		}
+	}
+	for i, c := range col {
+		if s := slot[c]; s >= 0 {
+			clusters[s] = append(clusters[s], int32(i))
+		}
+	}
+	return &Partition{n: len(col), clusters: clusters}
+}
+
+// Intersect returns the stripped partition for the union of the attribute
+// sets represented by p and q: rows are equivalent iff they are equivalent
+// under both. This is the paper's CNT/TID join-group-by (Sec. 6.3) realized
+// as a hash grouping.
+func Intersect(p, q *Partition) *Partition {
+	if p.n != q.n {
+		panic("pli: intersecting partitions over different relations")
+	}
+	// Iterate the smaller operand for speed; intersection is symmetric.
+	if q.Size() < p.Size() {
+		p, q = q, p
+	}
+	probe := q.Probe()
+	out := &Partition{n: p.n}
+	groups := make(map[int32][]int32)
+	for _, cluster := range p.clusters {
+		for _, tid := range cluster {
+			ci := probe[tid]
+			if ci < 0 {
+				continue // singleton in q => singleton in the intersection
+			}
+			groups[ci] = append(groups[ci], tid)
+		}
+		for ci, g := range groups {
+			if len(g) >= 2 {
+				cp := make([]int32, len(g))
+				copy(cp, g)
+				out.clusters = append(out.clusters, cp)
+			}
+			delete(groups, ci)
+		}
+	}
+	sortClusters(out.clusters)
+	return out
+}
+
+// FromAttrs computes the stripped partition of the attribute set attrs of r
+// directly, by hashing whole projected rows. It is the reference
+// implementation used to validate Intersect and as a fallback for cold
+// caches; O(N·|attrs|).
+func FromAttrs(r *relation.Relation, attrs bitset.AttrSet) *Partition {
+	if attrs.IsEmpty() {
+		// The empty attribute set puts all rows in one class.
+		n := r.NumRows()
+		if n < 2 {
+			return &Partition{n: n}
+		}
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return &Partition{n: n, clusters: [][]int32{all}}
+	}
+	n := r.NumRows()
+	groups := make(map[string][]int32, n)
+	buf := make([]byte, 0, 4*attrs.Len())
+	idx := attrs.Indices()
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, j := range idx {
+			c := r.Code(i, j)
+			buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		k := string(buf)
+		groups[k] = append(groups[k], int32(i))
+	}
+	out := &Partition{n: n}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			out.clusters = append(out.clusters, g)
+		}
+	}
+	sortClusters(out.clusters)
+	return out
+}
+
+// sortClusters canonicalizes cluster order (by first row id) so that
+// partitions built by different routes compare equal in tests.
+func sortClusters(clusters [][]int32) {
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+}
+
+// Equal reports whether two partitions describe the same stripped
+// equivalence classes.
+func Equal(p, q *Partition) bool {
+	if p.n != q.n || len(p.clusters) != len(q.clusters) {
+		return false
+	}
+	for i := range p.clusters {
+		if len(p.clusters[i]) != len(q.clusters[i]) {
+			return false
+		}
+		for k := range p.clusters[i] {
+			if p.clusters[i][k] != q.clusters[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}

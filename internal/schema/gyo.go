@@ -1,0 +1,87 @@
+package schema
+
+import (
+	"errors"
+
+	"repro/internal/bitset"
+)
+
+// BuildJoinTreeGYO constructs a join tree by Graham/Yu–Özsoyoğlu ear
+// removal: repeatedly find an "ear" — a relation whose attributes, except
+// those shared with some witness relation, occur nowhere else — remove it
+// and attach it to its witness. It accepts exactly the acyclic schemas and
+// is the classical alternative to the maximum-spanning-tree construction
+// in BuildJoinTree; both are exposed so tests can cross-validate and
+// callers can pick (MST is the default: simpler bookkeeping, same
+// guarantees).
+func BuildJoinTreeGYO(s Schema) (*JoinTree, error) {
+	m := s.M()
+	bags := append([]bitset.AttrSet(nil), s.Relations...)
+	if m == 1 {
+		return newJoinTree(bags, nil), nil
+	}
+	alive := make([]bool, m)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := m
+	var edges [][2]int
+
+	// occurrence counts over alive bags, maintained incrementally.
+	var occ [bitset.MaxAttrs]int
+	for _, b := range bags {
+		b.ForEach(func(a int) bool {
+			occ[a]++
+			return true
+		})
+	}
+
+	for remaining > 1 {
+		earFound := false
+		for i := 0; i < m && !earFound; i++ {
+			if !alive[i] {
+				continue
+			}
+			// exclusive: attributes of bag i occurring in no other alive bag.
+			exclusive := bitset.Empty()
+			shared := bitset.Empty()
+			bags[i].ForEach(func(a int) bool {
+				if occ[a] == 1 {
+					exclusive = exclusive.Add(a)
+				} else {
+					shared = shared.Add(a)
+				}
+				return true
+			})
+			// Witness: an alive bag j ≠ i containing all shared attributes.
+			for j := 0; j < m; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if shared.SubsetOf(bags[j]) {
+					u, v := i, j
+					if u > v {
+						u, v = v, u
+					}
+					edges = append(edges, [2]int{u, v})
+					alive[i] = false
+					remaining--
+					bags[i].ForEach(func(a int) bool {
+						occ[a]--
+						return true
+					})
+					earFound = true
+					break
+				}
+			}
+		}
+		if !earFound {
+			return nil, errors.New("schema: GYO reduction stuck: schema is cyclic")
+		}
+	}
+	t := newJoinTree(append([]bitset.AttrSet(nil), s.Relations...), edges)
+	if err := t.VerifyRunningIntersection(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestGYOPaperSchema(t *testing.T) {
+	s := paperSchema(t)
+	tree, err := BuildJoinTreeGYO(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Edges) != 3 {
+		t.Fatalf("edges = %d", len(tree.Edges))
+	}
+	if err := tree.VerifyRunningIntersection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGYORejectsCyclic(t *testing.T) {
+	tri := MustNew(at(t, "AB"), at(t, "BC"), at(t, "AC"))
+	if _, err := BuildJoinTreeGYO(tri); err == nil {
+		t.Fatal("triangle accepted")
+	}
+	square := MustNew(at(t, "AB"), at(t, "BC"), at(t, "CD"), at(t, "AD"))
+	if _, err := BuildJoinTreeGYO(square); err == nil {
+		t.Fatal("4-cycle accepted")
+	}
+}
+
+func TestGYOSingleBag(t *testing.T) {
+	tree, err := BuildJoinTreeGYO(MustNew(at(t, "ABC")))
+	if err != nil || len(tree.Edges) != 0 {
+		t.Fatalf("single bag: %v %v", tree, err)
+	}
+}
+
+func TestGYOAgreesWithMSTOnRandomSchemas(t *testing.T) {
+	// Both constructions must accept exactly the acyclic schemas; the
+	// trees may differ, but both must verify RIP and define the same
+	// schema. Also cross-check IsAcyclic.
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		bags := randomAcyclicBags(rng)
+		s, err := New(bags)
+		if err != nil {
+			continue
+		}
+		mst, errMST := BuildJoinTree(s)
+		gyo, errGYO := BuildJoinTreeGYO(s)
+		if (errMST == nil) != (errGYO == nil) {
+			t.Fatalf("trial %d: MST err=%v, GYO err=%v for %v", trial, errMST, errGYO, s)
+		}
+		if errMST != nil {
+			continue
+		}
+		if !mst.Schema().Equal(gyo.Schema()) {
+			t.Fatalf("trial %d: trees define different schemas", trial)
+		}
+		if err := gyo.VerifyRunningIntersection(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestGYOOnRandomCyclicSchemas(t *testing.T) {
+	// Random k-cycles must be rejected by both constructions and by
+	// IsAcyclic.
+	for k := 3; k <= 7; k++ {
+		var cyc []bitset.AttrSet
+		for i := 0; i < k; i++ {
+			cyc = append(cyc, bitset.Of(i, (i+1)%k))
+		}
+		s, err := New(cyc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.IsAcyclic() {
+			t.Fatalf("%d-cycle reported acyclic", k)
+		}
+		if _, err := BuildJoinTreeGYO(s); err == nil {
+			t.Fatalf("%d-cycle accepted by GYO", k)
+		}
+		if _, err := BuildJoinTree(s); err == nil {
+			t.Fatalf("%d-cycle accepted by MST", k)
+		}
+	}
+}

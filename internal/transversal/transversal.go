@@ -1,0 +1,153 @@
+// Package transversal enumerates minimal transversals (minimal hitting
+// sets) of a growing hypergraph.
+//
+// MineMinSeps (paper Fig. 5, after Gunopulos et al.) interleaves two
+// operations: add a newly found minimal separator as a hyperedge, and ask
+// for a not-yet-processed minimal transversal of the current hypergraph.
+// This package provides exactly that interface. Edges are added one at a
+// time, so the transversal set is maintained incrementally with Berge's
+// multiplication: when edge E arrives, transversals already hitting E
+// survive, the others are extended by one vertex of E, and non-minimal
+// results are filtered with the private-witness test.
+//
+// The theoretically best algorithm (Fredman–Khachiyan) has quasi-
+// polynomial delay; Berge's is worst-case exponential in |edges| but is
+// simple, incremental, and fast at the hypergraph sizes mining produces —
+// the paper itself bounds the number of wasted transversals between
+// discoveries by the negative border |BD⁻(S)| ≤ n·|S| (Thm. 12.2),
+// independent of the enumeration engine.
+package transversal
+
+import (
+	"repro/internal/bitset"
+)
+
+// Enumerator maintains the minimal transversals of a hypergraph over a
+// fixed universe while edges are added, and hands out each minimal
+// transversal of the current hypergraph at most once.
+type Enumerator struct {
+	universe  bitset.AttrSet
+	edges     []bitset.AttrSet
+	mts       []bitset.AttrSet
+	processed map[bitset.AttrSet]bool
+	queue     []bitset.AttrSet
+	dead      bool // an empty edge was added: no transversal can hit it
+}
+
+// New returns an enumerator over the given universe with no edges. With an
+// empty hypergraph the empty set is the unique minimal transversal.
+func New(universe bitset.AttrSet) *Enumerator {
+	return &Enumerator{
+		universe:  universe,
+		mts:       []bitset.AttrSet{bitset.Empty()},
+		processed: make(map[bitset.AttrSet]bool),
+		queue:     []bitset.AttrSet{bitset.Empty()},
+	}
+}
+
+// Edges returns the edges added so far.
+func (e *Enumerator) Edges() []bitset.AttrSet { return e.edges }
+
+// Transversals returns the current minimal transversals (shared slice; do
+// not modify).
+func (e *Enumerator) Transversals() []bitset.AttrSet { return e.mts }
+
+// AddEdge inserts a hyperedge and updates the minimal transversal set.
+// Vertices outside the universe are ignored. Adding the empty edge makes
+// the hypergraph unhittable: enumeration ends.
+func (e *Enumerator) AddEdge(edge bitset.AttrSet) {
+	edge = edge.Intersect(e.universe)
+	e.edges = append(e.edges, edge)
+	if edge.IsEmpty() {
+		e.dead = true
+		e.mts = nil
+		e.queue = nil
+		return
+	}
+	if e.dead {
+		return
+	}
+	// Berge step: extend transversals that miss the new edge.
+	seen := make(map[bitset.AttrSet]bool, len(e.mts))
+	var cands []bitset.AttrSet
+	push := func(s bitset.AttrSet) {
+		if !seen[s] {
+			seen[s] = true
+			cands = append(cands, s)
+		}
+	}
+	for _, t := range e.mts {
+		if t.Intersects(edge) {
+			push(t)
+			continue
+		}
+		edge.ForEach(func(v int) bool {
+			push(t.Add(v))
+			return true
+		})
+	}
+	e.mts = e.mts[:0]
+	for _, c := range cands {
+		if e.isMinimalTransversal(c) {
+			e.mts = append(e.mts, c)
+		}
+	}
+	bitset.SortSets(e.mts)
+	// Refresh the queue with every current, unprocessed transversal.
+	e.queue = e.queue[:0]
+	for _, t := range e.mts {
+		if !e.processed[t] {
+			e.queue = append(e.queue, t)
+		}
+	}
+}
+
+// isMinimalTransversal checks that s hits every edge and that each vertex
+// of s has a private edge (an edge s hits only through that vertex).
+func (e *Enumerator) isMinimalTransversal(s bitset.AttrSet) bool {
+	for _, ed := range e.edges {
+		if !ed.Intersects(s) {
+			return false
+		}
+	}
+	minimal := true
+	s.ForEach(func(v int) bool {
+		private := false
+		for _, ed := range e.edges {
+			if ed.Intersect(s) == bitset.Single(v) {
+				private = true
+				break
+			}
+		}
+		if !private {
+			minimal = false
+			return false
+		}
+		return true
+	})
+	return minimal
+}
+
+// Next returns a minimal transversal of the current hypergraph that has
+// not been returned before, marking it processed. ok is false when all
+// current minimal transversals have been processed (the caller may still
+// AddEdge and ask again).
+func (e *Enumerator) Next() (t bitset.AttrSet, ok bool) {
+	for len(e.queue) > 0 {
+		t = e.queue[0]
+		e.queue = e.queue[1:]
+		if e.processed[t] {
+			continue
+		}
+		e.processed[t] = true
+		return t, true
+	}
+	return bitset.Empty(), false
+}
+
+// Minimal is a standalone helper: it reports whether s is a minimal
+// transversal of the given edge family (used by property tests).
+func Minimal(s bitset.AttrSet, edges []bitset.AttrSet) bool {
+	e := &Enumerator{edges: edges}
+	return e.isMinimalTransversal(s)
+}

@@ -1,0 +1,199 @@
+package transversal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestEmptyHypergraph(t *testing.T) {
+	e := New(bitset.Full(4))
+	d, ok := e.Next()
+	if !ok || !d.IsEmpty() {
+		t.Fatalf("empty hypergraph: got %v, %v", d, ok)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("only one transversal expected")
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	e := New(bitset.Full(5))
+	e.AddEdge(bitset.Of(1, 3))
+	got := map[bitset.AttrSet]bool{}
+	for {
+		d, ok := e.Next()
+		if !ok {
+			break
+		}
+		got[d] = true
+	}
+	if len(got) != 2 || !got[bitset.Of(1)] || !got[bitset.Of(3)] {
+		t.Fatalf("transversals of {13}: %v", got)
+	}
+}
+
+func TestTwoDisjointEdges(t *testing.T) {
+	e := New(bitset.Full(6))
+	e.AddEdge(bitset.Of(0, 1))
+	e.AddEdge(bitset.Of(2, 3))
+	mts := e.Transversals()
+	if len(mts) != 4 {
+		t.Fatalf("expected 4 minimal transversals, got %v", mts)
+	}
+	for _, m := range mts {
+		if m.Len() != 2 {
+			t.Fatalf("transversal %v should have 2 vertices", m)
+		}
+	}
+}
+
+func TestOverlappingEdges(t *testing.T) {
+	// Edges {0,1}, {1,2}: minimal transversals are {1}, {0,2}.
+	e := New(bitset.Full(3))
+	e.AddEdge(bitset.Of(0, 1))
+	e.AddEdge(bitset.Of(1, 2))
+	mts := e.Transversals()
+	want := map[bitset.AttrSet]bool{bitset.Of(1): true, bitset.Of(0, 2): true}
+	if len(mts) != 2 {
+		t.Fatalf("got %v", mts)
+	}
+	for _, m := range mts {
+		if !want[m] {
+			t.Fatalf("unexpected transversal %v", m)
+		}
+	}
+}
+
+func TestEmptyEdgeKillsEnumeration(t *testing.T) {
+	e := New(bitset.Full(3))
+	e.AddEdge(bitset.Of(0))
+	e.AddEdge(bitset.Empty())
+	if len(e.Transversals()) != 0 {
+		t.Fatal("empty edge should leave no transversals")
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next should fail after empty edge")
+	}
+	e.AddEdge(bitset.Of(1)) // must not resurrect
+	if len(e.Transversals()) != 0 {
+		t.Fatal("dead enumerator resurrected")
+	}
+}
+
+func TestEdgeClippedToUniverse(t *testing.T) {
+	e := New(bitset.Of(0, 1))
+	e.AddEdge(bitset.Of(1, 5)) // 5 outside universe
+	mts := e.Transversals()
+	if len(mts) != 1 || mts[0] != bitset.Of(1) {
+		t.Fatalf("got %v", mts)
+	}
+}
+
+func TestNextNeverRepeats(t *testing.T) {
+	e := New(bitset.Full(6))
+	e.AddEdge(bitset.Of(0, 1, 2))
+	seen := map[bitset.AttrSet]bool{}
+	for {
+		d, ok := e.Next()
+		if !ok {
+			break
+		}
+		if seen[d] {
+			t.Fatalf("repeat %v", d)
+		}
+		seen[d] = true
+		// Interleave edge additions like MineMinSeps does.
+		if len(seen) == 1 {
+			e.AddEdge(bitset.Of(3, 4))
+		}
+	}
+	// All processed transversals must be minimal for the final family.
+	for d := range seen {
+		// d was minimal for the family at the time it was produced; at
+		// least verify it hits the first edge.
+		if !d.Intersects(bitset.Of(0, 1, 2)) {
+			t.Fatalf("%v misses the first edge", d)
+		}
+	}
+}
+
+func TestMinimalHelper(t *testing.T) {
+	edges := []bitset.AttrSet{bitset.Of(0, 1), bitset.Of(1, 2)}
+	if !Minimal(bitset.Of(1), edges) {
+		t.Fatal("{1} is a minimal transversal")
+	}
+	if Minimal(bitset.Of(0, 1), edges) {
+		t.Fatal("{0,1} is not minimal ({1} suffices)")
+	}
+	if Minimal(bitset.Of(0), edges) {
+		t.Fatal("{0} is not a transversal")
+	}
+}
+
+// naiveMinTransversals enumerates minimal transversals by brute force.
+func naiveMinTransversals(universe bitset.AttrSet, edges []bitset.AttrSet) []bitset.AttrSet {
+	var all []bitset.AttrSet
+	universe.Subsets(func(s bitset.AttrSet) bool {
+		hits := true
+		for _, e := range edges {
+			if !e.Intersects(s) {
+				hits = false
+				break
+			}
+		}
+		if hits {
+			all = append(all, s)
+		}
+		return true
+	})
+	var out []bitset.AttrSet
+	for _, s := range all {
+		minimal := true
+		for _, o := range all {
+			if o.ProperSubsetOf(s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	bitset.SortSets(out)
+	return out
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(4)
+		universe := bitset.Full(n)
+		numEdges := 1 + rng.Intn(4)
+		e := New(universe)
+		var edges []bitset.AttrSet
+		for k := 0; k < numEdges; k++ {
+			var edge bitset.AttrSet
+			for edge.IsEmpty() {
+				edge = bitset.AttrSet(rng.Int63()) & universe
+				if rng.Intn(2) == 0 {
+					edge &= bitset.AttrSet(rng.Int63())
+				}
+			}
+			edges = append(edges, edge)
+			e.AddEdge(edge)
+		}
+		got := append([]bitset.AttrSet(nil), e.Transversals()...)
+		bitset.SortSets(got)
+		want := naiveMinTransversals(universe, edges)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%v): got %v, want %v", trial, edges, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (%v): got %v, want %v", trial, edges, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package maimon is a Go reproduction of Maimon, the system of Kenig,
+// Mundra, Prasad, Salimi and Suciu, "Mining Approximate Acyclic Schemes
+// from Relations" (SIGMOD 2020): discovery of approximate multivalued
+// dependencies (MVDs) and approximate acyclic schemas from a single
+// relation instance, with an information-theoretic notion of
+// approximation.
+//
+// The J-measure of an MVD or acyclic schema is an expression over
+// empirical entropies that is zero exactly when the dependency holds
+// (Lee's theorem); a dependency is an ε-MVD / ε-schema when J ≤ ε bits.
+// Mining proceeds in two phases: MVDMiner enumerates the full ε-MVDs with
+// minimal-separator keys, and ASMiner synthesizes non-extendable acyclic
+// schemas from maximal pairwise-compatible subsets of them.
+//
+// # Quick start
+//
+//	r, err := maimon.LoadCSV("data.csv", true)
+//	if err != nil { ... }
+//	schemes, result, err := maimon.MineSchemes(r, maimon.Options{Epsilon: 0.1})
+//	for _, s := range schemes {
+//	    fmt.Println(s.Schema.Format(r.Names()), s.J)
+//	}
+//	_ = result.MVDs // the mined full ε-MVDs
+//
+// The packages under internal/ hold the implementation: entropy engine
+// (PLI-style stripped partitions), minimal-separator and full-MVD search,
+// schema enumeration, decomposition quality metrics, synthetic dataset
+// generators, and brute-force baselines. This root package is a thin,
+// stable facade over them.
+package maimon
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/ci"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/decompose"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/mvd"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the public names.
+type (
+	// Relation is a column-oriented, dictionary-encoded relation instance.
+	Relation = relation.Relation
+	// AttrSet is a set of attribute indices (at most 64 attributes).
+	AttrSet = bitset.AttrSet
+	// MVD is a generalized multivalued dependency X ↠ Y1|…|Ym.
+	MVD = mvd.MVD
+	// Schema is a set of relation schemas over a common universe.
+	Schema = schema.Schema
+	// JoinTree is a join tree witnessing a schema's acyclicity.
+	JoinTree = schema.JoinTree
+	// Scheme is a mined acyclic schema together with its J-measure.
+	Scheme = core.Scheme
+	// MVDResult is the outcome of the MVD-mining phase.
+	MVDResult = core.MVDResult
+	// Metrics quantifies a decomposition (savings, spurious tuples, ...).
+	Metrics = decompose.Metrics
+)
+
+// Options configures mining.
+type Options struct {
+	// Epsilon is the approximation threshold ε ≥ 0 in bits; 0 mines exact
+	// dependencies.
+	Epsilon float64
+	// Timeout bounds the total mining time; zero means unlimited.
+	Timeout time.Duration
+	// MaxSchemes bounds how many schemes MineSchemes returns (0 = all).
+	MaxSchemes int
+	// DisablePruning turns off the pairwise-consistency optimization
+	// (paper App. 12.3); intended for ablation only.
+	DisablePruning bool
+}
+
+func (o Options) coreOptions() core.Options {
+	opts := core.DefaultOptions(o.Epsilon)
+	opts.PairwiseConsistency = !o.DisablePruning
+	// Each mining phase (MVD mining, scheme enumeration) gets its own
+	// budget, mirroring the paper's per-phase time limits.
+	opts.Budget = o.Timeout
+	return opts
+}
+
+// ErrInterrupted is returned (wrapped in MVDResult.Err) when mining hit
+// the configured timeout; partial results are still valid.
+var ErrInterrupted = core.ErrInterrupted
+
+// LoadCSV reads a relation from a CSV file. With header = true the first
+// record names the attributes.
+func LoadCSV(path string, header bool) (*Relation, error) {
+	return relation.ReadCSVFile(path, header)
+}
+
+// ReadCSV reads a relation from a CSV stream.
+func ReadCSV(r io.Reader, header bool) (*Relation, error) {
+	return relation.ReadCSV(r, header)
+}
+
+// FromRows builds a relation from string rows.
+func FromRows(names []string, rows [][]string) (*Relation, error) {
+	return relation.FromRows(names, rows)
+}
+
+// NewMiner exposes the two-phase miner directly for callers that need
+// fine-grained control (per-pair separator mining, scheme streaming).
+func NewMiner(r *Relation, opts Options) *core.Miner {
+	return core.NewMiner(entropy.New(r), opts.coreOptions())
+}
+
+// MineMVDs runs phase 1 (MVDMiner): it returns Mε, the full ε-MVDs with
+// minimal-separator keys, from which every ε-MVD of the relation follows
+// by Shannon inequalities (paper Thm. 5.7).
+func MineMVDs(r *Relation, opts Options) (*MVDResult, error) {
+	if r.NumCols() < 3 {
+		return nil, errors.New("maimon: need at least 3 attributes to mine MVDs")
+	}
+	m := NewMiner(r, opts)
+	res := m.MineMVDs()
+	return res, res.Err
+}
+
+// MineSchemes runs both phases and returns the non-extendable acyclic
+// ε-schemas synthesized from maximal compatible MVD sets, along with the
+// phase-1 result. Schemes arrive in enumeration order; use Analyze to
+// rank them by savings and spurious-tuple rate.
+func MineSchemes(r *Relation, opts Options) ([]*Scheme, *MVDResult, error) {
+	if r.NumCols() < 3 {
+		return nil, nil, errors.New("maimon: need at least 3 attributes to mine schemes")
+	}
+	m := NewMiner(r, opts)
+	schemes, res := m.MineSchemes(opts.MaxSchemes)
+	return schemes, res, res.Err
+}
+
+// J returns the J-measure (bits) of an MVD over the relation's empirical
+// distribution: 0 iff the MVD holds exactly.
+func J(r *Relation, m MVD) float64 {
+	return info.JMVD(entropy.New(r), m)
+}
+
+// JOfSchema returns the J-measure of an acyclic schema (errors when the
+// schema is cyclic).
+func JOfSchema(r *Relation, s Schema) (float64, error) {
+	return info.JSchema(entropy.New(r), s)
+}
+
+// Analyze computes decomposition-quality metrics (storage savings S,
+// spurious-tuple rate E, width measures) of schema s over r.
+func Analyze(r *Relation, s Schema) (Metrics, error) {
+	return decompose.Analyze(r, s)
+}
+
+// ParseMVD parses "AD->CF|BE" (letters) into an MVD.
+func ParseMVD(s string) (MVD, error) { return mvd.Parse(s) }
+
+// NewSchema canonicalizes a set of relation schemas.
+func NewSchema(relations []AttrSet) (Schema, error) { return schema.New(relations) }
+
+// Nursery reconstructs the paper's Sec. 8.1 use-case dataset (12960 rows,
+// 9 attributes; see DESIGN.md §4.2 for the substitution notes).
+func Nursery() *Relation { return datagen.Nursery() }
+
+// CIStatements converts mined MVDs to the saturated conditional
+// independence statements they encode (the Geiger–Pearl equivalence the
+// paper builds on), deduplicated and in canonical order — the adapter for
+// graphical-model tooling.
+func CIStatements(mvds []MVD) []ci.Statement { return ci.MinedToCI(mvds) }

@@ -17,11 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	maimon "repro"
@@ -35,7 +38,7 @@ func main() {
 		input      = flag.String("input", "", "input CSV file (required)")
 		header     = flag.Bool("header", true, "first CSV record is the header")
 		epsilon    = flag.Float64("epsilon", 0, "approximation threshold ε in bits")
-		mode       = flag.String("mode", "schemes", "minseps | mvds | schemes")
+		mode       = flag.String("mode", "schemes", "minseps | mvds | schemes | decompose")
 		timeout    = flag.Duration("timeout", time.Minute, "mining time budget (0 = unlimited)")
 		maxSchemes = flag.Int("max-schemes", 100, "cap on schemes enumerated (0 = all)")
 		withFDs    = flag.Bool("fds", false, "also mine exact FDs/UCCs (baseline)")
@@ -54,8 +57,17 @@ func main() {
 	}
 	fmt.Printf("relation: %d rows × %d columns (%s)\n", r.NumRows(), r.NumCols(), *input)
 
-	opts := maimon.Options{Epsilon: *epsilon, Timeout: *timeout, MaxSchemes: *maxSchemes}
-	m := maimon.NewMiner(r, opts)
+	// The timeout rides on a signal-aware context, so Ctrl-C interrupts a
+	// long mine and still prints the partial results gathered so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := maimon.Options{Epsilon: *epsilon, MaxSchemes: *maxSchemes}
+	m := maimon.NewMiner(r, opts).WithContext(ctx)
 
 	switch *mode {
 	case "minseps":
@@ -144,7 +156,17 @@ func main() {
 		fail("unknown mode %q", *mode)
 	}
 
+	// Mining is over: restore default signal handling so Ctrl-C now
+	// terminates the process instead of feeding an already-consumed
+	// context.
+	interrupted := ctx.Err() != nil
+	stop()
+
 	if *withFDs {
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "maimon: skipping FD/UCC baseline (interrupted)")
+			return
+		}
 		fmt.Println("\nFD/UCC baseline (exact):")
 		res := fd.NewMiner(r, fd.Options{}).Mine()
 		fmt.Print(res.Summary(r.Names()))

@@ -1,0 +1,114 @@
+// Command maimond is the resident schema-mining service: it keeps
+// datasets loaded and dictionary-encoded in memory, runs mining jobs
+// asynchronously on a bounded worker pool, caches results per
+// (dataset, ε, options), and exposes everything over a JSON HTTP API.
+//
+// Usage:
+//
+//	maimond [-addr :8080] [-workers N] [-queue 256] [-job-timeout 0]
+//	        [-load name=path.csv ...] [-nursery]
+//
+// API (see README.md for curl examples):
+//
+//	POST   /datasets?name=N   upload a CSV body and register it
+//	GET    /datasets          list datasets
+//	DELETE /datasets/{name}   unregister a dataset
+//	POST   /jobs              submit a mining job
+//	GET    /jobs/{id}         poll status and progress
+//	GET    /jobs/{id}/result  fetch schemes / MVDs / metrics when done
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /healthz           liveness, worker and cache counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+	"repro/internal/service"
+)
+
+// loadFlags collects repeated -load name=path.csv values.
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var loads loadFlags
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 256, "job queue depth (submits beyond it are rejected)")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
+		maxJobs    = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
+		nursery    = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
+	)
+	flag.Var(&loads, "load", "preload a dataset: name=path.csv (repeatable)")
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if *nursery {
+		info, err := reg.Add("nursery", datagen.Nursery())
+		if err != nil {
+			log.Fatalf("maimond: %v", err)
+		}
+		log.Printf("loaded dataset %q: %d rows × %d cols", info.Name, info.Rows, info.Cols)
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("maimond: -load wants name=path.csv, got %q", spec)
+		}
+		r, err := relation.ReadCSVFile(path, true)
+		if err != nil {
+			log.Fatalf("maimond: loading %s: %v", path, err)
+		}
+		info, err := reg.Add(name, r)
+		if err != nil {
+			log.Fatalf("maimond: %v", err)
+		}
+		log.Printf("loaded dataset %q: %d rows × %d cols (%s)", info.Name, info.Rows, info.Cols, path)
+	}
+
+	mgr := service.NewManager(reg, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *jobTimeout,
+		MaxJobs:        *maxJobs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("maimond listening on %s (%d workers)", *addr, mgr.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("maimond: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("maimond: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "maimond: shutdown: %v\n", err)
+	}
+	mgr.Close() // cancels queued and running jobs, drains the pool
+}

@@ -29,7 +29,7 @@ func (s *Scheme) M() int { return s.Schema.M() }
 // (possible for approximate inputs whose compatible set is not tree-
 // consistent) are skipped.
 func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
-	m.opts.startPhase()
+	m.beginPhase()
 	ms := append([]mvd.MVD(nil), mvds...)
 	mvd.Sort(ms)
 	g := mis.NewGraph(len(ms))
@@ -46,7 +46,7 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 	}
 	seen := make(map[string]bool)
 	enumerate(func(set []int) bool {
-		if m.opts.expired() {
+		if m.stopped() {
 			return false
 		}
 		q := make([]mvd.MVD, len(set))
@@ -77,7 +77,9 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 }
 
 // MineSchemes runs both phases end to end and collects up to maxSchemes
-// schemes (0 = unlimited, subject to Options.Deadline).
+// schemes (0 = unlimited, subject to Options.Deadline and the bound
+// context). An interruption during either phase is reported through the
+// returned MVDResult.Err.
 func (m *Miner) MineSchemes(maxSchemes int) ([]*Scheme, *MVDResult) {
 	res := m.MineMVDs()
 	var out []*Scheme
@@ -85,6 +87,9 @@ func (m *Miner) MineSchemes(maxSchemes int) ([]*Scheme, *MVDResult) {
 		out = append(out, s)
 		return maxSchemes <= 0 || len(out) < maxSchemes
 	})
+	if res.Err == nil {
+		res.Err = m.interruptErr()
+	}
 	return out, res
 }
 

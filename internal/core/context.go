@@ -1,0 +1,69 @@
+package core
+
+import "context"
+
+// WithContext binds ctx to the miner: every mining loop polls it alongside
+// the wall-clock deadline and stops early — with valid partial results —
+// once it is cancelled or past its deadline. It returns the miner for
+// chaining at construction and clears any stop cause recorded under the
+// previous context. NewMiner binds context.Background(). Must not be
+// called while a mining phase is in flight.
+func (m *Miner) WithContext(ctx context.Context) *Miner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
+	m.cause = nil
+	return m
+}
+
+// beginPhase starts a top-level mining phase: it arms the per-phase
+// deadline when a budget is configured and clears the stop cause left by
+// an earlier phase or run, so each phase reports only its own
+// interruption (MineSchemes latches phase 1's error before phase 2
+// begins).
+func (m *Miner) beginPhase() {
+	m.opts.startPhase()
+	m.cause = nil
+}
+
+// Context returns the context bound with WithContext.
+func (m *Miner) Context() context.Context { return m.ctx }
+
+// stopped reports whether mining should halt — the bound context was
+// cancelled or timed out, or Options.Deadline expired — and records the
+// first cause observed for interruptErr. Every inner mining loop polls it
+// once per candidate, so cancellation latency is one candidate evaluation.
+func (m *Miner) stopped() bool {
+	if err := m.ctx.Err(); err != nil {
+		m.searchStats.TimeoutHit = true
+		if m.cause == nil {
+			m.cause = err
+		}
+		return true
+	}
+	if m.opts.expired() {
+		m.searchStats.TimeoutHit = true
+		if m.cause == nil {
+			m.cause = ErrInterrupted
+		}
+		return true
+	}
+	return false
+}
+
+// interruptErr translates the recorded stop cause into the error reported
+// through MVDResult.Err: deadlines (wall-clock Options.Deadline/Budget or
+// a context deadline) surface as ErrInterrupted, keeping the legacy
+// timeout contract; explicit cancellation surfaces as context.Canceled so
+// callers can tell "told to stop" from "ran out of time".
+func (m *Miner) interruptErr() error {
+	switch m.cause {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrInterrupted
+	default:
+		return m.cause
+	}
+}

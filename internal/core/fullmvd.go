@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -10,10 +11,14 @@ import (
 )
 
 // Miner binds an entropy oracle to mining options. All phase-1 and phase-2
-// entry points hang off it. Miner is not safe for concurrent use.
+// entry points hang off it. Miner is not safe for concurrent use; for
+// concurrent mining give each goroutine its own Miner (oracles are cheap,
+// the relation behind them is shared read-only).
 type Miner struct {
 	oracle *entropy.Oracle
 	opts   Options
+	ctx    context.Context // bound by WithContext; polled by every loop
+	cause  error           // first stop cause (context error or ErrInterrupted)
 
 	// searchStats accumulates across getFullMVDs invocations; curVisited
 	// counts candidates inspected by the invocation in flight (for
@@ -36,7 +41,7 @@ type SearchStats struct {
 
 // NewMiner builds a miner over the oracle with the given options.
 func NewMiner(o *entropy.Oracle, opts Options) *Miner {
-	return &Miner{oracle: o, opts: opts}
+	return &Miner{oracle: o, opts: opts, ctx: context.Background()}
 }
 
 // Oracle exposes the underlying entropy oracle (stats reporting).
@@ -94,8 +99,7 @@ func (m *Miner) GetFullMVDs(sep bitset.AttrSet, a, b int, k int) []mvd.MVD {
 			truncated = true
 			break
 		}
-		if m.opts.expired() {
-			m.searchStats.TimeoutHit = true
+		if m.stopped() {
 			break
 		}
 		phi := stack[len(stack)-1]
@@ -148,10 +152,10 @@ func (m *Miner) pairwiseConsistent(phi mvd.MVD, a, b int) (mvd.MVD, bool) {
 			return mvd.MVD{}, false
 		}
 		// A single repair pass costs O(m²) mutual-information evaluations
-		// (m up to 45 on the widest dataset), so the deadline must be
-		// honored here too; under timeout results are partial anyway.
-		if m.opts.expired() {
-			m.searchStats.TimeoutHit = true
+		// (m up to 45 on the widest dataset), so the deadline and the
+		// context must be honored here too; under timeout results are
+		// partial anyway.
+		if m.stopped() {
 			return mvd.MVD{}, false
 		}
 		i, j := m.findInconsistentPair(phi)

@@ -17,8 +17,9 @@ type MVDResult struct {
 	MVDs []mvd.MVD
 	// MinSeps maps each attribute pair to its minimal separators.
 	MinSeps map[Pair][]bitset.AttrSet
-	// Err is ErrInterrupted when the deadline expired mid-run (results so
-	// far are valid but possibly incomplete); nil otherwise.
+	// Err is ErrInterrupted when a deadline expired mid-run, or
+	// context.Canceled when the miner's bound context was cancelled
+	// (results so far are valid but possibly incomplete); nil otherwise.
 	Err error
 }
 
@@ -53,7 +54,7 @@ func (r *MVDResult) NumMinSeps() int {
 // restricted by Options.Pairs), mine the minimal separators and then the
 // full ε-MVDs for each separator; return their union Mε.
 func (m *Miner) MineMVDs() *MVDResult {
-	m.opts.startPhase()
+	m.beginPhase()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
 	seen := make(map[string]bool)
 	pairs := m.opts.Pairs
@@ -66,8 +67,7 @@ func (m *Miner) MineMVDs() *MVDResult {
 		}
 	}
 	for _, p := range pairs {
-		if m.opts.expired() {
-			res.Err = ErrInterrupted
+		if m.stopped() {
 			break
 		}
 		a, b := p[0], p[1]
@@ -79,8 +79,7 @@ func (m *Miner) MineMVDs() *MVDResult {
 			res.MinSeps[Pair{a, b}] = seps
 		}
 		for _, sep := range seps {
-			if m.opts.expired() {
-				res.Err = ErrInterrupted
+			if m.stopped() {
 				break
 			}
 			for _, phi := range m.GetFullMVDs(sep, a, b, m.opts.MaxFullMVDsPerSeparator) {
@@ -92,9 +91,7 @@ func (m *Miner) MineMVDs() *MVDResult {
 			}
 		}
 	}
-	if m.searchStats.TimeoutHit && res.Err == nil {
-		res.Err = ErrInterrupted
-	}
+	res.Err = m.interruptErr()
 	mvd.Sort(res.MVDs)
 	return res
 }
@@ -103,13 +100,13 @@ func (m *Miner) MineMVDs() *MVDResult {
 // workload measured by the paper's scalability experiments (Sec. 8.3),
 // which report that separator mining dominates total runtime.
 func (m *Miner) MineMinSepsAll() *MVDResult {
-	m.opts.startPhase()
+	m.beginPhase()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
 	n := m.oracle.NumAttrs()
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
-			if m.opts.expired() {
-				res.Err = ErrInterrupted
+			if m.stopped() {
+				res.Err = m.interruptErr()
 				return res
 			}
 			seps := m.MineMinSeps(a, b)
@@ -118,9 +115,7 @@ func (m *Miner) MineMinSepsAll() *MVDResult {
 			}
 		}
 	}
-	if m.searchStats.TimeoutHit {
-		res.Err = ErrInterrupted
-	}
+	res.Err = m.interruptErr()
 	return res
 }
 

@@ -58,8 +58,7 @@ func (m *Miner) MineMinSeps(a, b int) []bitset.AttrSet {
 
 	wastedRun := 0
 	for {
-		if m.opts.expired() {
-			m.searchStats.TimeoutHit = true
+		if m.stopped() {
 			break
 		}
 		d, ok := enum.Next()

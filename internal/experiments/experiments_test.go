@@ -17,7 +17,18 @@ func quickCfg() Config {
 	}
 }
 
+// skipIfShort gates the experiment smoke tests: together they re-mine
+// the full dataset registry and take ~40s, so `go test -short` skips
+// them while the unflagged run keeps full coverage.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping experiment smoke test in -short mode")
+	}
+}
+
 func TestTable2Smoke(t *testing.T) {
+	skipIfShort(t)
 	out := Table2(quickCfg())
 	if !strings.Contains(out, "Bridges") || !strings.Contains(out, "Voter State") {
 		t.Fatalf("Table 2 output incomplete:\n%s", out)
@@ -28,6 +39,7 @@ func TestTable2Smoke(t *testing.T) {
 }
 
 func TestFig10NurserySmoke(t *testing.T) {
+	skipIfShort(t)
 	cfg := quickCfg()
 	cfg.Budget = 2 * time.Second
 	out := Fig10Nursery(cfg)
@@ -37,6 +49,7 @@ func TestFig10NurserySmoke(t *testing.T) {
 }
 
 func TestFig12Smoke(t *testing.T) {
+	skipIfShort(t)
 	out := Fig12SpuriousVsJ(quickCfg())
 	for _, name := range []string{"Breast-Cancer", "Bridges", "Nursery", "Echocardiogram"} {
 		if !strings.Contains(out, name) {
@@ -46,6 +59,7 @@ func TestFig12Smoke(t *testing.T) {
 }
 
 func TestFig13Smoke(t *testing.T) {
+	skipIfShort(t)
 	out := Fig13Rows(quickCfg())
 	for _, name := range []string{"Image", "Four Square (Spots)", "Ditag Feature"} {
 		if !strings.Contains(out, name) {
@@ -55,6 +69,7 @@ func TestFig13Smoke(t *testing.T) {
 }
 
 func TestFig14Smoke(t *testing.T) {
+	skipIfShort(t)
 	out := Fig14Cols(quickCfg())
 	for _, name := range []string{"Entity Source", "Voter State", "Census"} {
 		if !strings.Contains(out, name) {
@@ -64,6 +79,7 @@ func TestFig14Smoke(t *testing.T) {
 }
 
 func TestFig15Smoke(t *testing.T) {
+	skipIfShort(t)
 	out := Fig15Quality(quickCfg())
 	for _, name := range fig15Datasets {
 		if !strings.Contains(out, name) {
@@ -73,6 +89,7 @@ func TestFig15Smoke(t *testing.T) {
 }
 
 func TestFig18Smoke(t *testing.T) {
+	skipIfShort(t)
 	out := Fig18FullMVDs(quickCfg())
 	for _, name := range fig18Datasets {
 		if !strings.Contains(out, name) {
@@ -82,6 +99,7 @@ func TestFig18Smoke(t *testing.T) {
 }
 
 func TestAblationsSmoke(t *testing.T) {
+	skipIfShort(t)
 	out := AblationPairwiseConsistency(quickCfg())
 	if !strings.Contains(out, "pairwise-consistency") {
 		t.Fatalf("unexpected:\n%s", out)
@@ -107,6 +125,7 @@ func TestQuantiles(t *testing.T) {
 }
 
 func TestDedupeSchemes(t *testing.T) {
+	skipIfShort(t)
 	r := relationOf("Bridges", 200)
 	a := collectSchemes(r, 0, time.Second, 20)
 	merged := dedupeSchemes(a, a)

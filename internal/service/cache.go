@@ -1,0 +1,81 @@
+package service
+
+import "sync"
+
+// cacheKey identifies a mining outcome: same dataset, same threshold,
+// same options ⇒ same result (mining is deterministic). Timeout is
+// deliberately not part of the key — only complete (non-interrupted) runs
+// are cached, and a complete result is valid under any timeout.
+type cacheKey struct {
+	dataset        string
+	epsilon        float64
+	mode           string
+	maxSchemes     int
+	disablePruning bool
+}
+
+func keyOf(req JobRequest) cacheKey {
+	return cacheKey{
+		dataset:        req.Dataset,
+		epsilon:        req.Epsilon,
+		mode:           req.Mode,
+		maxSchemes:     req.MaxSchemes,
+		disablePruning: req.DisablePruning,
+	}
+}
+
+// resultCache memoizes completed job results so repeated mine-then-
+// evaluate workloads over a shared dataset pay the mining cost once.
+// Results are stored and served by pointer and must be treated as
+// immutable by all readers.
+type resultCache struct {
+	mu sync.RWMutex
+	m  map[cacheKey]*JobResult
+
+	hits, misses int64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: make(map[cacheKey]*JobResult)}
+}
+
+func (c *resultCache) get(k cacheKey) *JobResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.m[k]
+	if r != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r
+}
+
+func (c *resultCache) put(k cacheKey, r *JobResult) {
+	if r == nil || r.Interrupted {
+		return // partial results are not reusable
+	}
+	c.mu.Lock()
+	c.m[k] = r
+	c.mu.Unlock()
+}
+
+// invalidateDataset drops every entry of one dataset (called when the
+// dataset is removed from the registry: a future re-registration under
+// the same name may hold different data).
+func (c *resultCache) invalidateDataset(name string) {
+	c.mu.Lock()
+	for k := range c.m {
+		if k.dataset == name {
+			delete(c.m, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// stats returns (hits, misses, entries).
+func (c *resultCache) stats() (int64, int64, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses, len(c.m)
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job lifecycle state. Transitions: queued → running →
+// done|failed|cancelled, plus queued → cancelled (cancelled before a
+// worker picked it up) and queued → done (result-cache hit at submit).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Mining modes a job may request.
+const (
+	ModeSchemes = "schemes" // both phases: full ε-MVDs, then acyclic schemes
+	ModeMVDs    = "mvds"    // phase 1 only
+)
+
+// JobRequest is the submit payload.
+type JobRequest struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset"`
+	// Epsilon is the approximation threshold ε ≥ 0 in bits.
+	Epsilon float64 `json:"epsilon"`
+	// Mode selects what to mine: "schemes" (default) or "mvds".
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS bounds the mining run; 0 applies the manager's default.
+	// A timed-out job still completes as done with Interrupted partial
+	// results (matching the library's ErrInterrupted contract).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSchemes caps how many schemes are enumerated; 0 applies the
+	// manager's default (DefaultMaxSchemes), -1 means unlimited.
+	MaxSchemes int `json:"max_schemes,omitempty"`
+	// DisablePruning turns off the pairwise-consistency optimization
+	// (ablation runs only).
+	DisablePruning bool `json:"disable_pruning,omitempty"`
+}
+
+// SchemeResult is one mined acyclic schema with its quality metrics.
+type SchemeResult struct {
+	Schema      string  `json:"schema"`
+	J           float64 `json:"j"`
+	Relations   int     `json:"relations"`
+	Width       int     `json:"width"`
+	SavingsPct  float64 `json:"savings_pct"`
+	SpuriousPct float64 `json:"spurious_pct"`
+}
+
+// MVDItem is one mined full ε-MVD.
+type MVDItem struct {
+	MVD string  `json:"mvd"`
+	J   float64 `json:"j"`
+}
+
+// JobResult is what GET /jobs/{id}/result serves once a job is done.
+type JobResult struct {
+	Dataset     string         `json:"dataset"`
+	Epsilon     float64        `json:"epsilon"`
+	Mode        string         `json:"mode"`
+	Schemes     []SchemeResult `json:"schemes,omitempty"`
+	MVDs        []MVDItem      `json:"mvds"`
+	NumMinSeps  int            `json:"num_min_seps"`
+	Interrupted bool           `json:"interrupted,omitempty"` // deadline hit: results are partial
+	ElapsedMS   int64          `json:"elapsed_ms"`
+}
+
+// Progress is a live snapshot of how far a job has gotten.
+type Progress struct {
+	// Phase is "" (queued), "mvds" or "schemes".
+	Phase string `json:"phase,omitempty"`
+	// MVDs is the number of full ε-MVDs mined (set when phase 1 ends).
+	MVDs int `json:"mvds"`
+	// Schemes counts schemes streamed out of the enumerator so far.
+	Schemes int `json:"schemes"`
+}
+
+// JobStatus is the wire representation of a job (GET /jobs/{id}).
+type JobStatus struct {
+	ID         string     `json:"id"`
+	Dataset    string     `json:"dataset"`
+	Mode       string     `json:"mode"`
+	Epsilon    float64    `json:"epsilon"`
+	State      State      `json:"state"`
+	Error      string     `json:"error,omitempty"`
+	CacheHit   bool       `json:"cache_hit,omitempty"`
+	Progress   Progress   `json:"progress"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// Job is one asynchronous mining job. All mutable fields are guarded by
+// mu except the progress counters, which the worker updates with atomics
+// from inside the mining callbacks.
+type Job struct {
+	id  string
+	req JobRequest
+
+	ctx    context.Context // cancelled by DELETE or manager shutdown
+	cancel context.CancelFunc
+
+	mvds    atomic.Int64 // full MVDs mined (phase 1)
+	schemes atomic.Int64 // schemes enumerated so far (phase 2)
+
+	mu       sync.Mutex
+	state    State
+	phase    string
+	errMsg   string
+	result   *JobResult
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{} // closed on entering a terminal state
+}
+
+func newJob(id string, req JobRequest, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		id:      id,
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the submitted request (with manager defaults applied).
+func (j *Job) Request() JobRequest { return j.req }
+
+// Done is closed once the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job's result; ok is false until the job is done.
+// Cancelled jobs retain the partial result mined before cancellation, but
+// it is only exposed here for done jobs.
+func (j *Job) Result() (*JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Status returns a consistent snapshot for serialization.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		Dataset:  j.req.Dataset,
+		Mode:     j.req.Mode,
+		Epsilon:  j.req.Epsilon,
+		State:    j.state,
+		Error:    j.errMsg,
+		CacheHit: j.cacheHit,
+		Progress: Progress{
+			Phase:   j.phase,
+			MVDs:    int(j.mvds.Load()),
+			Schemes: int(j.schemes.Load()),
+		},
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// markRunning transitions queued → running; it fails when the job was
+// cancelled while still in the queue (the worker then just skips it).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.phase = "mvds"
+	return true
+}
+
+func (j *Job) setPhase(p string) {
+	j.mu.Lock()
+	j.phase = p
+	j.mu.Unlock()
+}
+
+// finish records the terminal state; the first terminal transition wins.
+func (j *Job) finish(state State, result *JobResult, errMsg string) {
+	if !state.Terminal() {
+		panic(fmt.Sprintf("service: finish with non-terminal state %q", state))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	close(j.done)
+}
+
+// cancelQueued transitions queued → cancelled directly (no worker has the
+// job yet). It reports whether the transition happened.
+func (j *Job) cancelQueued() bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCancelled
+	j.errMsg = "cancelled before start"
+	j.finished = time.Now()
+	close(j.done)
+	j.mu.Unlock()
+	j.cancel()
+	return true
+}

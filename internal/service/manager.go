@@ -1,0 +1,346 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/relation"
+)
+
+// DefaultMaxSchemes caps scheme enumeration for jobs that don't set
+// max_schemes — an unbounded enumeration on an adversarial dataset is
+// exponential, and a resident service must not let one request monopolize
+// a worker forever.
+const DefaultMaxSchemes = 100
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the size of the mining worker pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Mining is CPU-bound, so more workers than
+	// cores buys nothing.
+	Workers int
+	// QueueDepth bounds how many jobs may wait; ≤ 0 means 256. A full
+	// queue rejects submits (backpressure) instead of growing without
+	// bound.
+	QueueDepth int
+	// DefaultTimeout applies to jobs that don't set timeout_ms; 0 means
+	// no default (jobs run until done or cancelled).
+	DefaultTimeout time.Duration
+	// MaxJobs bounds how many job records the manager retains; ≤ 0 means
+	// 1024. Past the bound, the oldest terminal jobs (and their results)
+	// are evicted on submit — a resident daemon must not accumulate every
+	// result it ever produced. Live (queued/running) jobs are never
+	// evicted.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// ErrQueueFull rejects a submit when the job queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed rejects operations on a closed manager.
+var ErrClosed = errors.New("service: manager closed")
+
+// Manager owns the job lifecycle: it validates submissions, serves cache
+// hits instantly, queues the rest onto a bounded worker pool, and runs
+// each job under its own cancellable context (child of the manager's, so
+// Close cancels everything in flight).
+type Manager struct {
+	reg   *Registry
+	cache *resultCache
+	cfg   Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job // submission order, for listing and eviction
+	seq    int64
+	closed bool
+}
+
+// NewManager starts a manager with cfg.Workers mining workers over the
+// given registry. Call Close to stop it.
+func NewManager(reg *Registry, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		reg:        reg,
+		cache:      newResultCache(),
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the dataset registry the manager mines from.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Workers returns the worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// CacheStats returns (hits, misses, entries) of the result cache.
+func (m *Manager) CacheStats() (int64, int64, int) { return m.cache.stats() }
+
+// normalize validates req and fills in manager defaults.
+func (m *Manager) normalize(req JobRequest) (JobRequest, error) {
+	switch req.Mode {
+	case "":
+		req.Mode = ModeSchemes
+	case ModeSchemes, ModeMVDs:
+	default:
+		return req, fmt.Errorf("service: unknown mode %q (want %q or %q)", req.Mode, ModeSchemes, ModeMVDs)
+	}
+	if req.Epsilon < 0 {
+		return req, fmt.Errorf("service: epsilon must be ≥ 0, got %v", req.Epsilon)
+	}
+	if req.TimeoutMS < 0 {
+		return req, fmt.Errorf("service: timeout_ms must be ≥ 0, got %d", req.TimeoutMS)
+	}
+	if req.TimeoutMS == 0 && m.cfg.DefaultTimeout > 0 {
+		req.TimeoutMS = m.cfg.DefaultTimeout.Milliseconds()
+	}
+	switch {
+	case req.MaxSchemes == 0:
+		req.MaxSchemes = DefaultMaxSchemes
+	case req.MaxSchemes < 0:
+		req.MaxSchemes = 0 // unlimited, the core encoding
+	}
+	r, ok := m.reg.Get(req.Dataset)
+	if !ok {
+		return req, fmt.Errorf("service: unknown dataset %q", req.Dataset)
+	}
+	if r.NumCols() < 3 {
+		return req, fmt.Errorf("service: dataset %q has %d attributes; mining needs at least 3", req.Dataset, r.NumCols())
+	}
+	return req, nil
+}
+
+// Submit validates and enqueues a mining job. A result-cache hit returns
+// a job that is already done, carrying the cached result.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	req, err := m.normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.seq++
+	job := newJob(fmt.Sprintf("j-%d", m.seq), req, m.baseCtx)
+	if cached := m.cache.get(keyOf(req)); cached != nil {
+		job.cacheHit = true
+		job.finish(StateDone, cached, "")
+		m.register(job)
+		return job, nil
+	}
+	select {
+	case m.queue <- job:
+		m.register(job)
+		return job, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// register records a job and evicts the oldest terminal jobs beyond the
+// retention bound. Caller holds m.mu.
+func (m *Manager) register(job *Job) {
+	m.jobs[job.id] = job
+	m.order = append(m.order, job)
+	for i := 0; len(m.jobs) > m.cfg.MaxJobs && i < len(m.order); {
+		if !m.order[i].State().Terminal() {
+			i++
+			continue
+		}
+		delete(m.jobs, m.order[i].id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+}
+
+// Job returns the job with the given id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all retained jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Job(nil), m.order...)
+}
+
+// Cancel requests cancellation of a job. A queued job flips to cancelled
+// immediately; a running job has its context cancelled and reaches
+// cancelled as soon as the miner observes it (one candidate evaluation).
+// The returned state is the job's state right after the request;
+// cancelling an already-terminal job is a no-op reporting that state.
+func (m *Manager) Cancel(id string) (State, error) {
+	job, ok := m.Job(id)
+	if !ok {
+		return "", fmt.Errorf("service: unknown job %q", id)
+	}
+	if job.cancelQueued() {
+		return StateCancelled, nil
+	}
+	// Running or already terminal: cancelling the context is a no-op for
+	// terminal jobs (finish keeps the first terminal state).
+	job.cancel()
+	return job.State(), nil
+}
+
+// RemoveDataset unregisters a dataset and invalidates its cached results.
+// Running jobs keep their relation reference and finish normally.
+func (m *Manager) RemoveDataset(name string) bool {
+	ok := m.reg.Remove(name)
+	if ok {
+		m.cache.invalidateDataset(name)
+	}
+	return ok
+}
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the workers to drain. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.run(job)
+	}
+}
+
+// run executes one job on the calling worker goroutine.
+func (m *Manager) run(job *Job) {
+	if job.ctx.Err() != nil { // cancelled (or manager closed) while queued
+		job.finish(StateCancelled, nil, "cancelled before start")
+		return
+	}
+	if !job.markRunning() {
+		return // cancelQueued already finished it
+	}
+	r, ok := m.reg.Get(job.req.Dataset)
+	if !ok {
+		job.finish(StateFailed, nil, fmt.Sprintf("dataset %q was removed before the job ran", job.req.Dataset))
+		return
+	}
+	ctx := job.ctx
+	if job.req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	result, err := m.mine(ctx, r, job)
+	result.ElapsedMS = time.Since(start).Milliseconds()
+
+	switch {
+	case job.ctx.Err() != nil && errors.Is(job.ctx.Err(), context.Canceled):
+		// Explicit DELETE (or manager shutdown), regardless of how the
+		// miner surfaced it: the job is cancelled, not done.
+		job.finish(StateCancelled, result, "cancelled")
+	case err != nil && !errors.Is(err, core.ErrInterrupted):
+		job.finish(StateFailed, nil, err.Error())
+	default:
+		result.Interrupted = errors.Is(err, core.ErrInterrupted)
+		job.finish(StateDone, result, "")
+		m.cache.put(keyOf(job.req), result)
+	}
+}
+
+// mine runs the requested phases under ctx, streaming progress into the
+// job's counters. The returned error is nil, core.ErrInterrupted (partial
+// results after a deadline), or a cancellation error.
+func (m *Manager) mine(ctx context.Context, r *relation.Relation, job *Job) (*JobResult, error) {
+	req := job.req
+	opts := core.DefaultOptions(req.Epsilon)
+	opts.PairwiseConsistency = !req.DisablePruning
+	miner := core.NewMiner(entropy.New(r), opts).WithContext(ctx)
+
+	out := &JobResult{Dataset: req.Dataset, Epsilon: req.Epsilon, Mode: req.Mode}
+
+	job.setPhase("mvds")
+	res := miner.MineMVDs()
+	job.mvds.Store(int64(len(res.MVDs)))
+	out.NumMinSeps = res.NumMinSeps()
+	out.MVDs = make([]MVDItem, len(res.MVDs))
+	for i, phi := range res.MVDs {
+		out.MVDs[i] = MVDItem{MVD: phi.Format(r.Names()), J: info.JMVD(miner.Oracle(), phi)}
+	}
+	err := res.Err
+
+	if req.Mode == ModeSchemes && err == nil {
+		job.setPhase("schemes")
+		miner.EnumerateSchemes(res.MVDs, func(s *core.Scheme) bool {
+			sr := SchemeResult{
+				Schema:    s.Schema.Format(r.Names()),
+				J:         s.J,
+				Relations: s.M(),
+				Width:     s.Schema.Width(),
+			}
+			// Quality metrics are best-effort: a scheme whose metrics
+			// cannot be computed still counts as mined.
+			if met, merr := decompose.Analyze(r, s.Schema); merr == nil {
+				sr.SavingsPct = met.SavingsPct
+				sr.SpuriousPct = met.SpuriousPct
+			}
+			out.Schemes = append(out.Schemes, sr)
+			job.schemes.Add(1)
+			return req.MaxSchemes <= 0 || len(out.Schemes) < req.MaxSchemes
+		})
+		if cerr := ctx.Err(); cerr != nil {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				err = core.ErrInterrupted
+			} else {
+				err = cerr
+			}
+		}
+	}
+	return out, err
+}

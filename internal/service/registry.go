@@ -1,0 +1,127 @@
+// Package service is the resident mining service behind cmd/maimond: a
+// dataset registry that loads and dictionary-encodes relations once and
+// shares them read-only across jobs, a job manager running mining jobs on
+// a bounded worker pool with an async lifecycle (queued → running →
+// done/failed/cancelled) and per-job cancellation via context, a result
+// cache keyed on (dataset, ε, options), and the HTTP handler exposing it
+// all as a JSON API.
+//
+// The split from the library facade is deliberate: the facade stays a
+// thin synchronous wrapper over internal/core, while this package owns
+// everything stateful — registration, queueing, concurrency, caching.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// DatasetInfo describes a registered dataset.
+type DatasetInfo struct {
+	Name     string    `json:"name"`
+	Rows     int       `json:"rows"`
+	Cols     int       `json:"cols"`
+	Attrs    []string  `json:"attrs"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// Registry holds the datasets jobs mine. A relation is parsed and
+// dictionary-encoded once at registration; afterwards it is shared
+// read-only, so any number of concurrent jobs (each with its own entropy
+// oracle) can mine it without copying or locking the data itself.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+type entry struct {
+	rel  *relation.Relation
+	info DatasetInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*entry)}
+}
+
+// Add registers r under name. Names are unique: re-registering is an
+// error (delete first), which keeps cached results unambiguous.
+func (g *Registry) Add(name string, r *relation.Relation) (DatasetInfo, error) {
+	if name == "" {
+		return DatasetInfo{}, fmt.Errorf("service: dataset name must not be empty")
+	}
+	info := DatasetInfo{
+		Name:     name,
+		Rows:     r.NumRows(),
+		Cols:     r.NumCols(),
+		Attrs:    append([]string(nil), r.Names()...),
+		LoadedAt: time.Now(),
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.m[name]; dup {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q already registered", name)
+	}
+	g.m[name] = &entry{rel: r, info: info}
+	return info, nil
+}
+
+// AddCSV parses a CSV stream (encoding it into a relation) and registers
+// it under name. With header = true the first record names the columns.
+func (g *Registry) AddCSV(name string, rd io.Reader, header bool) (DatasetInfo, error) {
+	r, err := relation.ReadCSV(rd, header)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: parsing dataset %q: %w", name, err)
+	}
+	return g.Add(name, r)
+}
+
+// Get returns the relation registered under name.
+func (g *Registry) Get(name string) (*relation.Relation, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.m[name]
+	if !ok {
+		return nil, false
+	}
+	return e.rel, true
+}
+
+// Info returns the metadata of the dataset registered under name.
+func (g *Registry) Info(name string) (DatasetInfo, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.m[name]
+	if !ok {
+		return DatasetInfo{}, false
+	}
+	return e.info, true
+}
+
+// List returns all registered datasets, sorted by name.
+func (g *Registry) List() []DatasetInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(g.m))
+	for _, e := range g.m {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Remove deletes the dataset and reports whether it existed. Jobs already
+// running on it keep their reference and finish normally; the manager
+// additionally drops the dataset's cached results.
+func (g *Registry) Remove(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[name]
+	delete(g.m, name)
+	return ok
+}

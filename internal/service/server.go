@@ -1,0 +1,183 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// maxUploadBytes bounds a dataset upload (64 MiB of CSV).
+const maxUploadBytes = 64 << 20
+
+// NewServer returns the maimond HTTP handler over a manager:
+//
+//	POST   /datasets?name=N[&header=false]  upload a CSV body, register it
+//	GET    /datasets                        list registered datasets
+//	GET    /datasets/{name}                 dataset metadata
+//	DELETE /datasets/{name}                 unregister + drop cached results
+//	POST   /jobs                            submit a mining job (JSON body)
+//	GET    /jobs                            list jobs (status snapshots)
+//	GET    /jobs/{id}                       poll one job's status/progress
+//	GET    /jobs/{id}/result                fetch a done job's result
+//	DELETE /jobs/{id}                       cancel a queued/running job
+//	GET    /healthz                         liveness + pool/cache counters
+//
+// All responses are JSON; errors use {"error": "..."} with a matching
+// status code.
+func NewServer(m *Manager) http.Handler {
+	s := &server{mgr: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets", s.postDataset)
+	mux.HandleFunc("GET /datasets", s.listDatasets)
+	mux.HandleFunc("GET /datasets/{name}", s.getDataset)
+	mux.HandleFunc("DELETE /datasets/{name}", s.deleteDataset)
+	mux.HandleFunc("POST /jobs", s.postJob)
+	mux.HandleFunc("GET /jobs", s.listJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.getJobResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.deleteJob)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	return mux
+}
+
+type server struct {
+	mgr *Manager
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *server) postDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter: name")
+		return
+	}
+	header := true
+	if h := r.URL.Query().Get("header"); h != "" {
+		v, err := strconv.ParseBool(h)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "header must be a boolean")
+			return
+		}
+		header = v
+	}
+	info, err := s.mgr.Registry().AddCSV(name, http.MaxBytesReader(w, r.Body, maxUploadBytes), header)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *server) listDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Registry().List())
+}
+
+func (s *server) getDataset(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.mgr.Registry().Info(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) deleteDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.RemoveDataset(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
+func (s *server) postJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job request: "+err.Error())
+		return
+	}
+	job, err := s.mgr.Submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		case strings.Contains(err.Error(), "unknown dataset"):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *server) getJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	res, ok := job.Result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job is "+string(job.State())+", result only available once done")
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) deleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, err := s.mgr.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": state})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries := s.mgr.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.mgr.Workers(),
+		"cache":   map[string]int64{"hits": hits, "misses": misses, "entries": int64(entries)},
+	})
+}

@@ -27,9 +27,16 @@
 // schema enumeration, decomposition quality metrics, synthetic dataset
 // generators, and brute-force baselines. This root package is a thin,
 // stable facade over them.
+//
+// Besides the library there are two binaries: cmd/maimon, a one-shot CLI
+// over a CSV file, and cmd/maimond, a resident mining service with a
+// dataset registry, an asynchronous cancellable job pipeline, and a JSON
+// HTTP API (internal/service). See README.md for the full tour, CLI
+// usage and HTTP API reference with curl examples.
 package maimon
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
@@ -72,7 +79,10 @@ type Options struct {
 	// Epsilon is the approximation threshold ε ≥ 0 in bits; 0 mines exact
 	// dependencies.
 	Epsilon float64
-	// Timeout bounds the total mining time; zero means unlimited.
+	// Timeout bounds the total mining time across both phases; zero means
+	// unlimited. It is implemented as a context.WithTimeout layered over
+	// the caller's context, so MineMVDsContext and MineSchemesContext
+	// honor whichever of the two limits fires first.
 	Timeout time.Duration
 	// MaxSchemes bounds how many schemes MineSchemes returns (0 = all).
 	MaxSchemes int
@@ -84,14 +94,29 @@ type Options struct {
 func (o Options) coreOptions() core.Options {
 	opts := core.DefaultOptions(o.Epsilon)
 	opts.PairwiseConsistency = !o.DisablePruning
-	// Each mining phase (MVD mining, scheme enumeration) gets its own
-	// budget, mirroring the paper's per-phase time limits.
+	// Keep the wall-clock per-phase budget as a safety net for callers
+	// that take a raw miner from NewMiner without binding a context; on
+	// the *Context entry points the context deadline fires first (the
+	// total budget is at most one phase's).
 	opts.Budget = o.Timeout
 	return opts
 }
 
-// ErrInterrupted is returned (wrapped in MVDResult.Err) when mining hit
-// the configured timeout; partial results are still valid.
+// mineContext derives the context a mining run observes: the caller's ctx
+// with Options.Timeout layered on top when set.
+func (o Options) mineContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.Timeout > 0 {
+		return context.WithTimeout(ctx, o.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// ErrInterrupted is returned (as MVDResult.Err and the entry points'
+// error) when mining hit the configured timeout or the context's
+// deadline; partial results are still valid. Cancelling the context
+// passed to MineMVDsContext/MineSchemesContext instead surfaces
+// context.Canceled, so callers can distinguish a cancelled job from one
+// that ran out of time.
 var ErrInterrupted = core.ErrInterrupted
 
 // LoadCSV reads a relation from a CSV file. With header = true the first
@@ -112,6 +137,8 @@ func FromRows(names []string, rows [][]string) (*Relation, error) {
 
 // NewMiner exposes the two-phase miner directly for callers that need
 // fine-grained control (per-pair separator mining, scheme streaming).
+// Options.Timeout applies as a wall-clock budget per mining phase; for
+// cancellation, bind a context via (*core.Miner).WithContext.
 func NewMiner(r *Relation, opts Options) *core.Miner {
 	return core.NewMiner(entropy.New(r), opts.coreOptions())
 }
@@ -120,10 +147,19 @@ func NewMiner(r *Relation, opts Options) *core.Miner {
 // minimal-separator keys, from which every ε-MVD of the relation follows
 // by Shannon inequalities (paper Thm. 5.7).
 func MineMVDs(r *Relation, opts Options) (*MVDResult, error) {
+	return MineMVDsContext(context.Background(), r, opts)
+}
+
+// MineMVDsContext is MineMVDs under a context: cancelling ctx stops the
+// search promptly and returns the ε-MVDs mined so far together with
+// ctx's error (context.Canceled, or ErrInterrupted for a deadline).
+func MineMVDsContext(ctx context.Context, r *Relation, opts Options) (*MVDResult, error) {
 	if r.NumCols() < 3 {
 		return nil, errors.New("maimon: need at least 3 attributes to mine MVDs")
 	}
-	m := NewMiner(r, opts)
+	ctx, cancel := opts.mineContext(ctx)
+	defer cancel()
+	m := NewMiner(r, opts).WithContext(ctx)
 	res := m.MineMVDs()
 	return res, res.Err
 }
@@ -133,10 +169,20 @@ func MineMVDs(r *Relation, opts Options) (*MVDResult, error) {
 // phase-1 result. Schemes arrive in enumeration order; use Analyze to
 // rank them by savings and spurious-tuple rate.
 func MineSchemes(r *Relation, opts Options) ([]*Scheme, *MVDResult, error) {
+	return MineSchemesContext(context.Background(), r, opts)
+}
+
+// MineSchemesContext is MineSchemes under a context: cancelling ctx stops
+// either phase promptly and returns the schemes mined so far together
+// with ctx's error (context.Canceled, or ErrInterrupted for a deadline).
+// This is the entry point maimond's job workers call.
+func MineSchemesContext(ctx context.Context, r *Relation, opts Options) ([]*Scheme, *MVDResult, error) {
 	if r.NumCols() < 3 {
 		return nil, nil, errors.New("maimon: need at least 3 attributes to mine schemes")
 	}
-	m := NewMiner(r, opts)
+	ctx, cancel := opts.mineContext(ctx)
+	defer cancel()
+	m := NewMiner(r, opts).WithContext(ctx)
 	schemes, res := m.MineSchemes(opts.MaxSchemes)
 	return schemes, res, res.Err
 }

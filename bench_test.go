@@ -11,6 +11,7 @@
 package maimon
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -135,6 +136,73 @@ func BenchmarkAblation_EntropyEngine(b *testing.B) {
 		if out := experiments.AblationEntropyEngine(cfg); len(out) == 0 {
 			b.Fatal("empty report")
 		}
+	}
+}
+
+// --- session benchmarks --------------------------------------------------
+
+// BenchmarkSessionWarmVsCold measures the point of the Session API: the
+// same relation mined at ε ∈ {0, 0.01, 0.1} through one warm session
+// versus three one-shot calls that each rebuild the PLI cache and entropy
+// memo from zero. The warm path should win by a wide margin — entropy
+// computation is "the most expensive operation of Maimon".
+func BenchmarkSessionWarmVsCold(b *testing.B) {
+	r := datagen.Nursery().Head(3000)
+	epsilons := []float64{0, 0.01, 0.1}
+	ctx := context.Background()
+	b.Run("cold-one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, eps := range epsilons {
+				if _, _, err := MineSchemes(r, Options{Epsilon: eps, MaxSchemes: 20}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm-session", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := Open(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, eps := range epsilons {
+				if _, _, err := s.MineSchemes(ctx, WithEpsilon(eps), WithMaxSchemes(20)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSessionSchemeSeq exercises the streaming surface end to end:
+// schemes are consumed one by one off the iterator, with progress events
+// flowing, as the CLI's -v path does.
+func BenchmarkSessionSchemeSeq(b *testing.B) {
+	r := datagen.Nursery().Head(3000)
+	s, err := Open(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for sc, err := range s.SchemeSeq(ctx, WithEpsilon(0.1), WithMaxSchemes(20),
+			WithProgress(func(Progress) { events++ })) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sc != nil {
+				count++
+			}
+		}
+		if count == 0 {
+			b.Fatal("no schemes streamed")
+		}
+	}
+	if events == 0 {
+		b.Fatal("no progress events")
 	}
 }
 

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
-//	       [-timeout 30s] [-max-schemes 50] [-fds]
+//	       [-timeout 30s] [-max-schemes 50] [-fds] [-v]
 //
 // Modes:
 //
@@ -14,6 +14,10 @@
 //	          with J, savings S%, spurious-tuple rate E% and width
 //	decompose mine (or take -schema), pick the best scheme by savings,
 //	          and write one CSV per relation into -out
+//
+// With -v, live progress (phase, pairs done/total, MVDs found) streams to
+// stderr as mining runs, and in schemes mode each scheme is printed the
+// moment the enumerator synthesizes it, ahead of the final ranked table.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 		schemaSpec = flag.String("schema", "", "decompose mode: explicit schema, bags separated by ';' (e.g. \"A,B,D;A,C,D;B,D,E;A,F\")")
 		outDir     = flag.String("out", "decomposed", "decompose mode: output directory")
 		rank       = flag.String("rank", "savings", "schemes mode ordering: savings | j | relations | width")
+		verbose    = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -66,12 +71,29 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := maimon.Options{Epsilon: *epsilon, MaxSchemes: *maxSchemes}
-	m := maimon.NewMiner(r, opts).WithContext(ctx)
+
+	sess, err := maimon.Open(r, maimon.WithEpsilon(*epsilon), maimon.WithMaxSchemes(*maxSchemes))
+	if err != nil {
+		fail("%v", err)
+	}
+	// Track the MVD count through the event stream (cheap even without
+	// -v); with -v the same stream is echoed to stderr live.
+	mvdCount := 0
+	opts := []maimon.Option{maimon.WithProgress(func(p maimon.Progress) {
+		if p.MVDs > mvdCount {
+			mvdCount = p.MVDs
+		}
+		if *verbose {
+			printProgress(p)
+		}
+	})}
 
 	switch *mode {
 	case "minseps":
-		res := m.MineMinSepsAll()
+		res, merr := sess.MineMinSeps(ctx, opts...)
+		if res == nil {
+			fail("%v", merr)
+		}
 		for _, p := range res.SortedPairs() {
 			fmt.Printf("(%s, %s):", r.Name(p.A), r.Name(p.B))
 			for _, s := range res.MinSeps[p] {
@@ -80,23 +102,41 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("%d minimal separators total\n", res.NumMinSeps())
-		warnTimeout(res.Err)
+		warnTimeout(merr)
 	case "mvds":
-		res := m.MineMVDs()
+		res, merr := sess.MineMVDs(ctx, opts...)
+		if res == nil {
+			fail("%v", merr)
+		}
 		for _, phi := range res.MVDs {
-			fmt.Printf("  %-40s J=%.4f\n", phi.Format(r.Names()), m.J(phi))
+			fmt.Printf("  %-40s J=%.4f\n", phi.Format(r.Names()), sess.J(phi))
 		}
 		fmt.Printf("%d full ε-MVDs (ε=%.3f)\n", len(res.MVDs), *epsilon)
-		warnTimeout(res.Err)
+		warnTimeout(merr)
 	case "schemes":
-		schemes, res := m.MineSchemes(*maxSchemes)
+		// Consume the stream: schemes print (under -v) the moment the
+		// enumerator synthesizes them; the ranked table follows once the
+		// enumeration is done or interrupted.
+		var schemes []*maimon.Scheme
+		var mineErr error
+		for s, serr := range sess.SchemeSeq(ctx, opts...) {
+			if serr != nil {
+				mineErr = serr
+				break
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "scheme %3d: %-46s J=%.3f\n",
+					len(schemes)+1, s.Schema.Format(r.Names()), s.J)
+			}
+			schemes = append(schemes, s)
+		}
 		type row struct {
 			s   *core.Scheme
 			met decompose.Metrics
 		}
 		var rows []row
 		for _, s := range schemes {
-			met, err := maimon.Analyze(r, s.Schema)
+			met, err := sess.Analyze(s.Schema)
 			if err != nil {
 				continue
 			}
@@ -128,10 +168,10 @@ func main() {
 				rw.s.J, rw.met.SavingsPct, rw.met.SpuriousPct,
 				rw.s.M(), rw.s.Schema.Width(), rw.s.Schema.Format(r.Names()))
 		}
-		fmt.Printf("%d schemes from %d full MVDs (ε=%.3f)\n", len(rows), len(res.MVDs), *epsilon)
-		warnTimeout(res.Err)
+		fmt.Printf("%d schemes from %d full MVDs (ε=%.3f)\n", len(rows), mvdCount, *epsilon)
+		warnTimeout(mineErr)
 	case "decompose":
-		sch, err := pickSchema(r, m, *schemaSpec, *maxSchemes)
+		sch, err := pickSchema(ctx, sess, *schemaSpec, opts)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -145,7 +185,7 @@ func main() {
 		if err := d.WriteCSVs(*outDir); err != nil {
 			fail("%v", err)
 		}
-		met, err := maimon.Analyze(r, sch)
+		met, err := sess.Analyze(sch)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -173,9 +213,22 @@ func main() {
 	}
 }
 
-// pickSchema parses the explicit -schema spec or mines schemes and picks
-// the one with the best storage savings.
-func pickSchema(r *maimon.Relation, m *core.Miner, spec string, maxSchemes int) (maimon.Schema, error) {
+// printProgress renders one event as a stderr status line.
+func printProgress(p maimon.Progress) {
+	switch p.Phase {
+	case "schemes":
+		fmt.Fprintf(os.Stderr, "[%s] %d schemes from %d MVDs (%d candidates evaluated)\n",
+			p.Phase, p.Schemes, p.MVDs, p.Candidates)
+	default:
+		fmt.Fprintf(os.Stderr, "[%s] pair %d/%d: %d separators, %d MVDs (%d candidates evaluated)\n",
+			p.Phase, p.PairsDone, p.PairsTotal, p.Separators, p.MVDs, p.Candidates)
+	}
+}
+
+// pickSchema parses the explicit -schema spec or mines schemes through
+// the session and picks the one with the best storage savings.
+func pickSchema(ctx context.Context, sess *maimon.Session, spec string, opts []maimon.Option) (maimon.Schema, error) {
+	r := sess.Relation()
 	if spec != "" {
 		var bags []maimon.AttrSet
 		for _, part := range strings.Split(spec, ";") {
@@ -187,14 +240,14 @@ func pickSchema(r *maimon.Relation, m *core.Miner, spec string, maxSchemes int) 
 		}
 		return maimon.NewSchema(bags)
 	}
-	schemes, _ := m.MineSchemes(maxSchemes)
+	schemes, _, _ := sess.MineSchemes(ctx, opts...)
 	if len(schemes) == 0 {
 		return maimon.Schema{}, fmt.Errorf("no schemes mined; raise -epsilon or pass -schema")
 	}
 	best := schemes[0]
 	bestSavings := -1e18
 	for _, s := range schemes {
-		met, err := maimon.Analyze(r, s.Schema)
+		met, err := sess.Analyze(s.Schema)
 		if err != nil {
 			continue
 		}

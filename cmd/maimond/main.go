@@ -1,23 +1,26 @@
-// Command maimond is the resident schema-mining service: it keeps
-// datasets loaded and dictionary-encoded in memory, runs mining jobs
-// asynchronously on a bounded worker pool, caches results per
-// (dataset, ε, options), and exposes everything over a JSON HTTP API.
+// Command maimond is the resident schema-mining service: each dataset is
+// loaded, dictionary-encoded, and wrapped in a shared mining session
+// once, so concurrent and successive jobs over a dataset reuse its warm
+// entropy state; mining jobs run asynchronously on a bounded worker pool,
+// results are cached per (session, ε, options), and everything is exposed
+// over a JSON HTTP API.
 //
 // Usage:
 //
 //	maimond [-addr :8080] [-workers N] [-queue 256] [-job-timeout 0]
 //	        [-load name=path.csv ...] [-nursery]
 //
-// API (see README.md for curl examples):
+// API (versioned under /v1; the unversioned paths remain as aliases —
+// see README.md for curl examples):
 //
-//	POST   /datasets?name=N   upload a CSV body and register it
-//	GET    /datasets          list datasets
-//	DELETE /datasets/{name}   unregister a dataset
-//	POST   /jobs              submit a mining job
-//	GET    /jobs/{id}         poll status and progress
-//	GET    /jobs/{id}/result  fetch schemes / MVDs / metrics when done
-//	DELETE /jobs/{id}         cancel a queued or running job
-//	GET    /healthz           liveness, worker and cache counters
+//	POST   /v1/datasets?name=N   upload a CSV body and register it
+//	GET    /v1/datasets          list datasets
+//	DELETE /v1/datasets/{name}   unregister a dataset
+//	POST   /v1/jobs              submit a mining job
+//	GET    /v1/jobs/{id}         poll status and live mining progress
+//	GET    /v1/jobs/{id}/result  fetch schemes / MVDs / metrics when done
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/healthz           liveness, worker and cache counters
 package main
 
 import (

@@ -2,11 +2,13 @@
 // MVDs that the paper builds on (Sec. 1): FDs are special cases of MVDs —
 // every exact FD X→A lifts to the exact MVD X ↠ A | rest — but mining all
 // FDs and UCCs is insufficient to discover acyclic schemes. We mine both
-// dependency families over the same data with the shared PLI substrate
-// and cross-check them.
+// dependency families over the same data and cross-check them; the MVD
+// side runs through one Session, so the per-FD J evaluations and the full
+// MVD mine share a single warm oracle.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +23,11 @@ func main() {
 	r := datagen.FunctionalChain(2000, 4, 6, 0, 7)
 	fmt.Printf("relation: %d rows × %d cols (functional chain A→B→C→D)\n\n", r.NumRows(), r.NumCols())
 
+	sess, err := maimon.Open(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fdRes := fd.NewMiner(r, fd.Options{}).Mine()
 	fmt.Printf("FD/UCC baseline found %d minimal FDs, %d minimal UCCs:\n", len(fdRes.FDs), len(fdRes.UCCs))
 	fmt.Print(fdRes.Summary(r.Names()))
@@ -31,7 +38,7 @@ func main() {
 		if !ok {
 			continue
 		}
-		j := maimon.J(r, m)
+		j := sess.J(m)
 		fmt.Printf("  %-12s => %-28s J=%.6f\n", f.Format(r.Names()), m.Format(r.Names()), j)
 		if j > 1e-9 {
 			log.Fatalf("lifted MVD unexpectedly approximate: %v", j)
@@ -39,8 +46,10 @@ func main() {
 	}
 
 	// But MVD mining finds structure FDs cannot express: keys that are
-	// not determinants still separate attribute groups.
-	res, err := maimon.MineMVDs(r, maimon.Options{Epsilon: 0, Timeout: 10 * time.Second})
+	// not determinants still separate attribute groups. The mine below
+	// reuses every entropy the J evaluations above already computed.
+	res, err := sess.MineMVDs(context.Background(),
+		maimon.WithEpsilon(0), maimon.WithTimeout(10*time.Second))
 	if err != nil && err != maimon.ErrInterrupted {
 		log.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 // Independence shows the Geiger–Pearl view of Maimon's output: every
 // mined MVD is a saturated conditional-independence statement over the
-// relation's empirical distribution. We mine a planted relation, print
-// the CI statements, and exercise the semi-graphoid derivations
-// (decomposition, weak union) numerically — the adapter a graphical-model
-// pipeline would consume.
+// relation's empirical distribution. We mine a planted relation through a
+// Session, print the CI statements, and exercise the semi-graphoid
+// derivations (decomposition, weak union) numerically — the adapter a
+// graphical-model pipeline would consume.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,7 +33,12 @@ func main() {
 	}
 	fmt.Printf("planted %v over %d rows\n\n", planted.Format(r.Names()), r.NumRows())
 
-	res, err := maimon.MineMVDs(r, maimon.Options{Epsilon: 0, Timeout: 15 * time.Second})
+	sess, err := maimon.Open(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.MineMVDs(context.Background(),
+		maimon.WithEpsilon(0), maimon.WithTimeout(15*time.Second))
 	if err != nil && err != maimon.ErrInterrupted {
 		log.Fatal(err)
 	}
@@ -40,6 +46,9 @@ func main() {
 	fmt.Printf("mined %d full MVDs = %d saturated CI statements:\n", len(res.MVDs), len(stmts))
 	fmt.Print(ci.Report(stmts, r.Names()))
 
+	// The numeric derivation checks evaluate I against an oracle; a fresh
+	// one here shows the internal surface — the session above keeps its
+	// own warm oracle for the mining side.
 	o := entropy.New(r)
 	fmt.Println("\nsemi-graphoid derivations (each must keep I at 0):")
 	for _, s := range stmts {

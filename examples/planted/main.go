@@ -2,10 +2,13 @@
 // relation as an explicit acyclic join (so the schema holds exactly),
 // corrupt a fraction of cells, and show that exact mining (ε = 0) loses
 // the schema while approximate mining (ε > 0) recovers a decomposition of
-// the same shape — the paper's core motivation for approximation.
+// the same shape — the paper's core motivation for approximation. The
+// dirty relation is scored and mined through one Session, so the ε > 0
+// re-mine starts from the warm oracle the ε = 0 attempt populated.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,11 +40,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	jClean, err := maimon.JOfSchema(clean, planted)
+	cleanSess, err := maimon.Open(clean)
 	if err != nil {
 		log.Fatal(err)
 	}
-	jDirty, err := maimon.JOfSchema(dirty, planted)
+	sess, err := maimon.Open(dirty, maimon.WithTimeout(10*time.Second), maimon.WithMaxSchemes(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jClean, err := cleanSess.JOfSchema(planted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jDirty, err := sess.JOfSchema(planted)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,10 +61,9 @@ func main() {
 	fmt.Printf("J on clean data:   %.4f bits (exact by construction)\n", jClean)
 	fmt.Printf("J after %.1f%% cell noise: %.4f bits\n", *noise*100, jDirty)
 
+	ctx := context.Background()
 	for _, eps := range []float64{0, jDirty * 1.1} {
-		schemes, res, err := maimon.MineSchemes(dirty, maimon.Options{
-			Epsilon: eps, Timeout: 10 * time.Second, MaxSchemes: 50,
-		})
+		schemes, res, err := sess.MineSchemes(ctx, maimon.WithEpsilon(eps))
 		if err != nil && err != maimon.ErrInterrupted {
 			log.Fatal(err)
 		}
@@ -64,7 +75,7 @@ func main() {
 		}
 		fmt.Printf("  deepest decomposition: %v (m=%d, J=%.4f)\n",
 			best.Schema.Format(dirty.Names()), best.M(), best.J)
-		met, err := maimon.Analyze(dirty, best.Schema)
+		met, err := sess.Analyze(best.Schema)
 		if err == nil {
 			fmt.Printf("  savings S=%.1f%%, spurious E=%.2f%%\n", met.SavingsPct, met.SpuriousPct)
 		}

@@ -2,19 +2,20 @@
 // one analog dataset: minimal-separator mining time as rows and columns
 // grow. Row growth should look roughly linear (entropy scans dominate);
 // column growth combinatorial (the separator search space explodes).
+// Each configuration is a distinct (sampled or projected) relation, so
+// each gets its own Session; the budget rides WithTimeout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
+	maimon "repro"
 	"repro/internal/bitset"
-	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/entropy"
-	"repro/internal/relation"
 )
 
 func main() {
@@ -51,13 +52,18 @@ func main() {
 	}
 }
 
-func run(r *relation.Relation, eps float64, budget time.Duration) (time.Duration, int, bool) {
-	opts := core.DefaultOptions(eps)
-	opts.Budget = budget
-	m := core.NewMiner(entropy.New(r), opts)
+func run(r *maimon.Relation, eps float64, budget time.Duration) (time.Duration, int, bool) {
+	sess, err := maimon.Open(r)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	res := m.MineMinSepsAll()
-	return time.Since(start), res.NumMinSeps(), res.Err != nil
+	res, merr := sess.MineMinSeps(context.Background(),
+		maimon.WithEpsilon(eps), maimon.WithTimeout(budget))
+	if res == nil {
+		log.Fatal(merr)
+	}
+	return time.Since(start), res.NumMinSeps(), merr != nil
 }
 
 func tlMark(tl bool) string {

@@ -34,6 +34,13 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 	mvd.Sort(ms)
 	g := mis.NewGraph(len(ms))
 	for i := range ms {
+		// The incompatibility graph is quadratic in |Mε| (tens of
+		// thousands of MVDs on wide approximate inputs), so cancellation
+		// must be observable while it is being built, not only once
+		// enumeration starts.
+		if m.stopped() {
+			return
+		}
 		for j := i + 1; j < len(ms); j++ {
 			if Incompatible(ms[i], ms[j]) {
 				g.AddEdge(i, j)
@@ -44,6 +51,8 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 	if m.opts.UseJPYEnumerator {
 		enumerate = g.EnumerateJPY
 	}
+	m.emitProgress(Progress{Phase: "schemes", MVDs: len(ms), Candidates: m.searchStats.Visited})
+	streamed := 0
 	seen := make(map[string]bool)
 	enumerate(func(set []int) bool {
 		if m.stopped() {
@@ -72,6 +81,13 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 			J:       info.JTree(m.oracle, tree),
 			Support: q,
 		}
+		streamed++
+		m.emitProgress(Progress{
+			Phase:      "schemes",
+			MVDs:       len(ms),
+			Candidates: m.searchStats.Visited,
+			Schemes:    streamed,
+		})
 		return emit(s)
 	})
 }

@@ -52,6 +52,13 @@ func (m *Miner) stopped() bool {
 	return false
 }
 
+// Err reports how the most recent mining phase stopped: nil for a
+// completed run, ErrInterrupted after a deadline (wall-clock or context),
+// or the context's cancellation error. It lets streaming callers that
+// drive EnumerateSchemes directly surface the same errors the batch entry
+// points report through MVDResult.Err.
+func (m *Miner) Err() error { return m.interruptErr() }
+
 // interruptErr translates the recorded stop cause into the error reported
 // through MVDResult.Err: deadlines (wall-clock Options.Deadline/Budget or
 // a context deadline) surface as ErrInterrupted, keeping the legacy

@@ -66,7 +66,8 @@ func (m *Miner) MineMVDs() *MVDResult {
 			}
 		}
 	}
-	for _, p := range pairs {
+	m.emitProgress(Progress{Phase: "mvds", PairsTotal: len(pairs)})
+	for done, p := range pairs {
 		if m.stopped() {
 			break
 		}
@@ -90,6 +91,16 @@ func (m *Miner) MineMVDs() *MVDResult {
 				}
 			}
 		}
+		if m.opts.Progress != nil { // NumMinSeps walks the map: build events only when observed
+			m.emitProgress(Progress{
+				Phase:      "mvds",
+				PairsDone:  done + 1,
+				PairsTotal: len(pairs),
+				Separators: res.NumMinSeps(),
+				Candidates: m.searchStats.Visited,
+				MVDs:       len(res.MVDs),
+			})
+		}
 	}
 	res.Err = m.interruptErr()
 	mvd.Sort(res.MVDs)
@@ -103,6 +114,9 @@ func (m *Miner) MineMinSepsAll() *MVDResult {
 	m.beginPhase()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
 	n := m.oracle.NumAttrs()
+	total := n * (n - 1) / 2
+	m.emitProgress(Progress{Phase: "minseps", PairsTotal: total})
+	done := 0
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			if m.stopped() {
@@ -112,6 +126,16 @@ func (m *Miner) MineMinSepsAll() *MVDResult {
 			seps := m.MineMinSeps(a, b)
 			if len(seps) > 0 {
 				res.MinSeps[Pair{a, b}] = seps
+			}
+			done++
+			if m.opts.Progress != nil { // see MineMVDs: skip the map walk unobserved
+				m.emitProgress(Progress{
+					Phase:      "minseps",
+					PairsDone:  done,
+					PairsTotal: total,
+					Separators: res.NumMinSeps(),
+					Candidates: m.searchStats.Visited,
+				})
 			}
 		}
 	}

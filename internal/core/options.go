@@ -50,6 +50,11 @@ type Options struct {
 	// nil means all pairs (the normal mode).
 	Pairs [][2]int
 
+	// Progress, when non-nil, receives structured progress events from
+	// the mining loops (see Progress for the emission points). The
+	// callback runs synchronously on the mining goroutine.
+	Progress func(Progress)
+
 	// UseJPYEnumerator switches ASMiner's maximal-independent-set engine
 	// from Bron–Kerbosch (default; output-sensitive, fast in practice) to
 	// the Johnson–Papadimitriou–Yannakakis queue scheme the paper cites

@@ -1,0 +1,42 @@
+package core
+
+// Progress is a structured progress event emitted from the mining loops
+// when Options.Progress is set. Events are cumulative snapshots, not
+// deltas: each event carries the totals so far, so consumers may sample,
+// coalesce, or drop events freely.
+//
+// Emission points (one event each):
+//   - MineMVDs / MineMinSepsAll: once at phase entry (PairsDone = 0,
+//     PairsTotal set) and once per attribute pair processed;
+//   - EnumerateSchemes: once at phase entry and once per distinct scheme
+//     streamed to the caller.
+//
+// The callback runs synchronously on the mining goroutine; it must be
+// fast and must not call back into the miner.
+type Progress struct {
+	// Phase is the loop emitting the event: "minseps" (MineMinSepsAll),
+	// "mvds" (MVDMiner, phase 1) or "schemes" (ASMiner, phase 2).
+	Phase string
+	// PairsDone / PairsTotal track the attribute-pair loop of phase 1.
+	// Zero in phase 2 events.
+	PairsDone  int
+	PairsTotal int
+	// Separators counts the (pair, minimal separator) entries found so
+	// far — the quantity of the paper's Figs. 14 and 18.
+	Separators int
+	// Candidates counts candidate MVDs evaluated by getFullMVDs across
+	// the run (SearchStats.Visited).
+	Candidates int
+	// MVDs counts distinct full ε-MVDs mined so far. In phase 2 events it
+	// is the size of the input set Mε.
+	MVDs int
+	// Schemes counts distinct acyclic schemes streamed so far (phase 2).
+	Schemes int
+}
+
+// emitProgress delivers p to the configured callback, if any.
+func (m *Miner) emitProgress(p Progress) {
+	if m.opts.Progress != nil {
+		m.opts.Progress(p)
+	}
+}

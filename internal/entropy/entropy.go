@@ -10,6 +10,8 @@ package entropy
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/pli"
@@ -29,13 +31,30 @@ type Stats struct {
 // single point through which all miners obtain entropic values, so its
 // counters measure the true cost of a mining run.
 //
-// Oracle is not safe for concurrent use.
+// An Oracle built with New or NewWithConfig is not safe for concurrent
+// use; one built with NewShared is, and may back any number of concurrent
+// miners over the same relation.
 type Oracle struct {
 	rel   *relation.Relation
 	cache *pli.Cache
-	memo  map[bitset.AttrSet]float64
-	stats Stats
 	logN  float64
+
+	// shared selects the locked paths. The memo and the PLI cache are
+	// guarded by mu: lookups take the read lock, a miss upgrades to the
+	// write lock for the partition computation (the PLI cache mutates its
+	// internal maps on every Get, so computes are serialized; warm
+	// lookups proceed in parallel).
+	shared bool
+	mu     sync.RWMutex
+	memo   map[bitset.AttrSet]float64
+
+	// Counters fork with the mode so the single-threaded hot path keeps
+	// plain increments: stats serves unshared oracles, the atomics serve
+	// shared ones (mutated under mu.RLock, so they must be atomic).
+	stats   Stats
+	hCalls  atomic.Int64
+	hCached atomic.Int64
+	miCalls atomic.Int64
 }
 
 // New builds an oracle over r with the default PLI cache configuration.
@@ -54,14 +73,38 @@ func NewWithConfig(r *relation.Relation, cfg pli.Config) *Oracle {
 	}
 }
 
+// NewShared builds an oracle that is safe for concurrent use: any number
+// of goroutines may call H/CondH/MI (and Stats) simultaneously. Memo hits
+// run under a read lock and scale with cores; misses serialize on a write
+// lock around the PLI computation, so concurrent miners at different
+// thresholds still share every partition and entropy computed by any of
+// them. This is the oracle behind maimon.Session.
+func NewShared(r *relation.Relation, cfg pli.Config) *Oracle {
+	o := NewWithConfig(r, cfg)
+	o.shared = true
+	return o
+}
+
 // Relation returns the relation the oracle serves.
 func (o *Oracle) Relation() *relation.Relation { return o.rel }
 
 // NumAttrs returns the number of attributes of the underlying relation.
 func (o *Oracle) NumAttrs() int { return o.rel.NumCols() }
 
-// Stats returns a snapshot of the oracle counters.
+// Stats returns a snapshot of the oracle counters. On a shared oracle the
+// snapshot is taken under the lock and is consistent with any concurrent
+// mining that has completed (happens-before) the call.
 func (o *Oracle) Stats() Stats {
+	if o.shared {
+		o.mu.RLock()
+		defer o.mu.RUnlock()
+		return Stats{
+			HCalls:   int(o.hCalls.Load()),
+			HCached:  int(o.hCached.Load()),
+			MICalls:  int(o.miCalls.Load()),
+			PLIStats: o.cache.Stats(),
+		}
+	}
 	s := o.stats
 	s.PLIStats = o.cache.Stats()
 	return s
@@ -70,6 +113,9 @@ func (o *Oracle) Stats() Stats {
 // H returns the empirical joint entropy H(Xα) in bits, per Eq. (5).
 // H(∅) = 0 and H(Ω) = log2 N when rows are distinct.
 func (o *Oracle) H(attrs bitset.AttrSet) float64 {
+	if o.shared {
+		return o.sharedH(attrs)
+	}
 	o.stats.HCalls++
 	if attrs.IsEmpty() {
 		return 0
@@ -79,6 +125,32 @@ func (o *Oracle) H(attrs bitset.AttrSet) float64 {
 		return h
 	}
 	h := o.cache.Get(attrs).Entropy()
+	o.memo[attrs] = h
+	return h
+}
+
+// sharedH is the locked H path: read-locked memo probe, write-locked
+// compute with a double-check (two goroutines racing on the same fresh
+// set compute it once).
+func (o *Oracle) sharedH(attrs bitset.AttrSet) float64 {
+	o.hCalls.Add(1)
+	if attrs.IsEmpty() {
+		return 0
+	}
+	o.mu.RLock()
+	h, ok := o.memo[attrs]
+	o.mu.RUnlock()
+	if ok {
+		o.hCached.Add(1)
+		return h
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if h, ok := o.memo[attrs]; ok {
+		o.hCached.Add(1)
+		return h
+	}
+	h = o.cache.Get(attrs).Entropy()
 	o.memo[attrs] = h
 	return h
 }
@@ -96,7 +168,11 @@ func (o *Oracle) CondH(y, x bitset.AttrSet) float64 {
 // distributions, and clamping removes the tiny negative values that
 // floating-point cancellation can produce.
 func (o *Oracle) MI(y, z, x bitset.AttrSet) float64 {
-	o.stats.MICalls++
+	if o.shared {
+		o.miCalls.Add(1)
+	} else {
+		o.stats.MICalls++
+	}
 	v := o.H(x.Union(y)) + o.H(x.Union(z)) - o.H(x.Union(y).Union(z)) - o.H(x)
 	if v < 0 {
 		return 0

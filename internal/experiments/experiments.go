@@ -27,7 +27,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/entropy"
-	"repro/internal/relation"
 )
 
 // Config tunes an experiment run.
@@ -77,12 +76,15 @@ func (r *report) printf(format string, args ...interface{}) {
 
 func (r *report) String() string { return r.b.String() }
 
-// minerFor builds a budget-bounded miner over r; each mining phase gets
-// its own budget, as in the paper's per-phase time limits.
-func minerFor(r *relation.Relation, eps float64, budget time.Duration) *core.Miner {
+// minerFor builds a budget-bounded miner over a (possibly warm) oracle;
+// each mining phase gets its own budget, as in the paper's per-phase time
+// limits. The ε-sweep drivers build one oracle per dataset and reuse it
+// across thresholds — the session pattern of the public API — so a sweep
+// pays the PLI and entropy cost once instead of once per ε.
+func minerFor(o *entropy.Oracle, eps float64, budget time.Duration) *core.Miner {
 	opts := core.DefaultOptions(eps)
 	opts.Budget = budget
-	return core.NewMiner(entropy.New(r), opts)
+	return core.NewMiner(o, opts)
 }
 
 // schemeStats is one mined scheme with its decomposition metrics.
@@ -91,10 +93,11 @@ type schemeStats struct {
 	metrics decompose.Metrics
 }
 
-// collectSchemes mines schemes at the given ε and computes metrics for
-// each, within the budget and scheme cap.
-func collectSchemes(r *relation.Relation, eps float64, budget time.Duration, maxSchemes int) []schemeStats {
-	m := minerFor(r, eps, budget)
+// collectSchemes mines schemes at the given ε over the shared oracle and
+// computes metrics for each, within the budget and scheme cap.
+func collectSchemes(o *entropy.Oracle, eps float64, budget time.Duration, maxSchemes int) []schemeStats {
+	r := o.Relation()
+	m := minerFor(o, eps, budget)
 	res := m.MineMVDs()
 	var out []schemeStats
 	m.EnumerateSchemes(res.MVDs, func(s *core.Scheme) bool {

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/entropy"
 )
 
 // quickCfg keeps experiment smoke tests fast: tiny datasets, tight
@@ -127,7 +129,7 @@ func TestQuantiles(t *testing.T) {
 func TestDedupeSchemes(t *testing.T) {
 	skipIfShort(t)
 	r := relationOf("Bridges", 200)
-	a := collectSchemes(r, 0, time.Second, 20)
+	a := collectSchemes(entropy.New(r), 0, time.Second, 20)
 	merged := dedupeSchemes(a, a)
 	if len(merged) != len(dedupeSchemes(a)) {
 		t.Fatal("self-merge changed count")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/datagen"
+	"repro/internal/entropy"
 	"repro/internal/relation"
 )
 
@@ -85,7 +86,7 @@ func Fig14Cols(cfg Config) string {
 
 // timeMinSeps runs the separator phase for all pairs under a deadline.
 func timeMinSeps(r *relation.Relation, eps float64, budget time.Duration) (time.Duration, int, bool) {
-	m := minerFor(r, eps, budget)
+	m := minerFor(entropy.New(r), eps, budget)
 	start := time.Now()
 	res := m.MineMinSepsAll()
 	return time.Since(start), res.NumMinSeps(), res.Err != nil

@@ -32,8 +32,11 @@ func DefaultConfig() Config { return Config{BlockSize: 10, MaxEntries: 0} }
 // fixed relation. It is the library's equivalent of the paper's PLI cache
 // of CNT/TID tables, with the blockwise assembly of Sec. 6.3.
 //
-// Cache is not safe for concurrent use; miners are single-threaded as in
-// the paper.
+// Cache is not safe for concurrent use: Get mutates the internal maps and
+// counters even on hits. Concurrency is layered above it — a shared
+// entropy.Oracle (entropy.NewShared) serializes all Cache access under
+// its write lock, so the cache itself stays lock-free and cheap for the
+// single-threaded miners the paper describes.
 type Cache struct {
 	rel    *relation.Relation
 	cfg    Config

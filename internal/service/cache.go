@@ -2,21 +2,25 @@ package service
 
 import "sync"
 
-// cacheKey identifies a mining outcome: same dataset, same threshold,
-// same options ⇒ same result (mining is deterministic). Timeout is
+// cacheKey identifies a mining outcome per session incarnation: same
+// session (and thus the same underlying data), same threshold, same
+// options ⇒ same result (mining is deterministic). Keying on the session
+// id rather than the dataset name means a dataset removed and
+// re-registered under the same name — a new session over possibly
+// different data — can never be served a stale result. Timeout is
 // deliberately not part of the key — only complete (non-interrupted) runs
 // are cached, and a complete result is valid under any timeout.
 type cacheKey struct {
-	dataset        string
+	session        int64
 	epsilon        float64
 	mode           string
 	maxSchemes     int
 	disablePruning bool
 }
 
-func keyOf(req JobRequest) cacheKey {
+func keyOf(session int64, req JobRequest) cacheKey {
 	return cacheKey{
-		dataset:        req.Dataset,
+		session:        session,
 		epsilon:        req.Epsilon,
 		mode:           req.Mode,
 		maxSchemes:     req.MaxSchemes,
@@ -25,18 +29,25 @@ func keyOf(req JobRequest) cacheKey {
 }
 
 // resultCache memoizes completed job results so repeated mine-then-
-// evaluate workloads over a shared dataset pay the mining cost once.
+// evaluate workloads over a shared session pay the mining cost once.
 // Results are stored and served by pointer and must be treated as
 // immutable by all readers.
 type resultCache struct {
 	mu sync.RWMutex
 	m  map[cacheKey]*JobResult
+	// retired holds session ids whose dataset was removed: put refuses
+	// them, closing the lookup-then-put race with RemoveDataset (a job
+	// finishing after removal would otherwise insert an entry no
+	// invalidation can ever reach). Ids are 8 bytes and never reused, so
+	// this grows by one word per dataset removal — bounded noise next to
+	// the JobResults it prevents leaking.
+	retired map[int64]bool
 
 	hits, misses int64
 }
 
 func newResultCache() *resultCache {
-	return &resultCache{m: make(map[cacheKey]*JobResult)}
+	return &resultCache{m: make(map[cacheKey]*JobResult), retired: make(map[int64]bool)}
 }
 
 func (c *resultCache) get(k cacheKey) *JobResult {
@@ -56,17 +67,22 @@ func (c *resultCache) put(k cacheKey, r *JobResult) {
 		return // partial results are not reusable
 	}
 	c.mu.Lock()
-	c.m[k] = r
+	if !c.retired[k.session] {
+		c.m[k] = r
+	}
 	c.mu.Unlock()
 }
 
-// invalidateDataset drops every entry of one dataset (called when the
-// dataset is removed from the registry: a future re-registration under
-// the same name may hold different data).
-func (c *resultCache) invalidateDataset(name string) {
+// invalidateSession drops every entry of one session incarnation and
+// marks the id retired (called when its dataset is removed from the
+// registry). Taking both actions under the cache lock makes the order
+// against a racing put irrelevant: put-then-invalidate deletes the entry,
+// invalidate-then-put refuses it.
+func (c *resultCache) invalidateSession(id int64) {
 	c.mu.Lock()
+	c.retired[id] = true
 	for k := range c.m {
-		if k.dataset == name {
+		if k.session == id {
 			delete(c.m, k)
 		}
 	}

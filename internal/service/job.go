@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	maimon "repro"
 )
 
 // State is a job lifecycle state. Transitions: queued → running →
@@ -80,11 +82,19 @@ type JobResult struct {
 	ElapsedMS   int64          `json:"elapsed_ms"`
 }
 
-// Progress is a live snapshot of how far a job has gotten.
+// Progress is a live snapshot of how far a job has gotten, sourced from
+// the structured event stream the core mining loops emit (one event per
+// attribute pair in phase 1, one per scheme in phase 2) — not synthetic
+// post-phase counters.
 type Progress struct {
 	// Phase is "" (queued), "mvds" or "schemes".
 	Phase string `json:"phase,omitempty"`
-	// MVDs is the number of full ε-MVDs mined (set when phase 1 ends).
+	// PairsDone / PairsTotal track the attribute-pair loop of phase 1.
+	PairsDone  int `json:"pairs_done"`
+	PairsTotal int `json:"pairs_total"`
+	// Candidates counts candidate MVDs the search has evaluated so far.
+	Candidates int `json:"candidates"`
+	// MVDs is the number of full ε-MVDs mined so far.
 	MVDs int `json:"mvds"`
 	// Schemes counts schemes streamed out of the enumerator so far.
 	Schemes int `json:"schemes"`
@@ -115,8 +125,14 @@ type Job struct {
 	ctx    context.Context // cancelled by DELETE or manager shutdown
 	cancel context.CancelFunc
 
-	mvds    atomic.Int64 // full MVDs mined (phase 1)
-	schemes atomic.Int64 // schemes enumerated so far (phase 2)
+	// Live progress counters, stored from inside the miner's progress
+	// callback with atomics (the worker goroutine writes, any number of
+	// status readers race with it).
+	pairsDone  atomic.Int64
+	pairsTotal atomic.Int64
+	candidates atomic.Int64
+	mvds       atomic.Int64 // full MVDs mined so far (phase 1)
+	schemes    atomic.Int64 // schemes enumerated so far (phase 2)
 
 	mu       sync.Mutex
 	state    State
@@ -184,9 +200,12 @@ func (j *Job) Status() JobStatus {
 		Error:    j.errMsg,
 		CacheHit: j.cacheHit,
 		Progress: Progress{
-			Phase:   j.phase,
-			MVDs:    int(j.mvds.Load()),
-			Schemes: int(j.schemes.Load()),
+			Phase:      j.phase,
+			PairsDone:  int(j.pairsDone.Load()),
+			PairsTotal: int(j.pairsTotal.Load()),
+			Candidates: int(j.candidates.Load()),
+			MVDs:       int(j.mvds.Load()),
+			Schemes:    int(j.schemes.Load()),
 		},
 		CreatedAt: j.created,
 	}
@@ -219,6 +238,23 @@ func (j *Job) setPhase(p string) {
 	j.mu.Lock()
 	j.phase = p
 	j.mu.Unlock()
+}
+
+// observe is the job's maimon.WithProgress sink: it mirrors each live
+// event from the core mining loops into the atomically-readable counters
+// GET /v1/jobs/{id} serves. The "minseps" phase never occurs here (jobs
+// mine MVDs or schemes), so Phase maps onto the job's phase directly.
+func (j *Job) observe(p maimon.Progress) {
+	if p.Phase == "mvds" || p.PairsTotal > 0 {
+		j.pairsDone.Store(int64(p.PairsDone))
+		j.pairsTotal.Store(int64(p.PairsTotal))
+	}
+	j.candidates.Store(int64(p.Candidates))
+	j.mvds.Store(int64(p.MVDs))
+	if p.Phase == "schemes" {
+		j.schemes.Store(int64(p.Schemes))
+	}
+	j.setPhase(p.Phase)
 }
 
 // finish records the terminal state; the first terminal transition wins.

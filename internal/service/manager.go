@@ -8,11 +8,8 @@ import (
 	"sync"
 	"time"
 
+	maimon "repro"
 	"repro/internal/core"
-	"repro/internal/decompose"
-	"repro/internal/entropy"
-	"repro/internal/info"
-	"repro/internal/relation"
 )
 
 // DefaultMaxSchemes caps scheme enumeration for jobs that don't set
@@ -136,12 +133,12 @@ func (m *Manager) normalize(req JobRequest) (JobRequest, error) {
 	case req.MaxSchemes < 0:
 		req.MaxSchemes = 0 // unlimited, the core encoding
 	}
-	r, ok := m.reg.Get(req.Dataset)
+	sess, ok := m.reg.Get(req.Dataset)
 	if !ok {
 		return req, fmt.Errorf("service: unknown dataset %q", req.Dataset)
 	}
-	if r.NumCols() < 3 {
-		return req, fmt.Errorf("service: dataset %q has %d attributes; mining needs at least 3", req.Dataset, r.NumCols())
+	if cols := sess.Relation().NumCols(); cols < 3 {
+		return req, fmt.Errorf("service: dataset %q has %d attributes; mining needs at least 3", req.Dataset, cols)
 	}
 	return req, nil
 }
@@ -160,7 +157,8 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	m.seq++
 	job := newJob(fmt.Sprintf("j-%d", m.seq), req, m.baseCtx)
-	if cached := m.cache.get(keyOf(req)); cached != nil {
+	_, sessionID, _ := m.reg.lookup(req.Dataset)
+	if cached := m.cache.get(keyOf(sessionID, req)); cached != nil {
 		job.cacheHit = true
 		job.finish(StateDone, cached, "")
 		m.register(job)
@@ -224,12 +222,13 @@ func (m *Manager) Cancel(id string) (State, error) {
 	return job.State(), nil
 }
 
-// RemoveDataset unregisters a dataset and invalidates its cached results.
-// Running jobs keep their relation reference and finish normally.
+// RemoveDataset unregisters a dataset and invalidates the cached results
+// of its session incarnation. Running jobs keep their session reference
+// and finish normally.
 func (m *Manager) RemoveDataset(name string) bool {
-	ok := m.reg.Remove(name)
+	ok, id := m.reg.remove(name)
 	if ok {
-		m.cache.invalidateDataset(name)
+		m.cache.invalidateSession(id)
 	}
 	return ok
 }
@@ -265,7 +264,7 @@ func (m *Manager) run(job *Job) {
 	if !job.markRunning() {
 		return // cancelQueued already finished it
 	}
-	r, ok := m.reg.Get(job.req.Dataset)
+	sess, sessionID, ok := m.reg.lookup(job.req.Dataset)
 	if !ok {
 		job.finish(StateFailed, nil, fmt.Sprintf("dataset %q was removed before the job ran", job.req.Dataset))
 		return
@@ -277,7 +276,7 @@ func (m *Manager) run(job *Job) {
 		defer cancel()
 	}
 	start := time.Now()
-	result, err := m.mine(ctx, r, job)
+	result, err := m.mine(ctx, sess, job)
 	result.ElapsedMS = time.Since(start).Milliseconds()
 
 	switch {
@@ -290,57 +289,67 @@ func (m *Manager) run(job *Job) {
 	default:
 		result.Interrupted = errors.Is(err, core.ErrInterrupted)
 		job.finish(StateDone, result, "")
-		m.cache.put(keyOf(job.req), result)
+		// put refuses retired session ids, so a job finishing after its
+		// dataset was removed cannot insert an unreachable cache entry.
+		m.cache.put(keyOf(sessionID, job.req), result)
 	}
 }
 
-// mine runs the requested phases under ctx, streaming progress into the
-// job's counters. The returned error is nil, core.ErrInterrupted (partial
-// results after a deadline), or a cancellation error.
-func (m *Manager) mine(ctx context.Context, r *relation.Relation, job *Job) (*JobResult, error) {
+// mine runs the requested phases through the dataset's shared session —
+// every entropy and PLI partition an earlier job computed is already warm
+// — with the job's observe sink receiving the live event stream. The
+// returned error is nil, core.ErrInterrupted (partial results after a
+// deadline), or a cancellation error.
+func (m *Manager) mine(ctx context.Context, sess *maimon.Session, job *Job) (*JobResult, error) {
 	req := job.req
-	opts := core.DefaultOptions(req.Epsilon)
-	opts.PairwiseConsistency = !req.DisablePruning
-	miner := core.NewMiner(entropy.New(r), opts).WithContext(ctx)
+	r := sess.Relation()
+	opts := []maimon.Option{
+		maimon.WithEpsilon(req.Epsilon),
+		maimon.WithPruning(!req.DisablePruning),
+		maimon.WithProgress(job.observe),
+	}
 
 	out := &JobResult{Dataset: req.Dataset, Epsilon: req.Epsilon, Mode: req.Mode}
 
-	job.setPhase("mvds")
-	res := miner.MineMVDs()
-	job.mvds.Store(int64(len(res.MVDs)))
-	out.NumMinSeps = res.NumMinSeps()
-	out.MVDs = make([]MVDItem, len(res.MVDs))
-	for i, phi := range res.MVDs {
-		out.MVDs[i] = MVDItem{MVD: phi.Format(r.Names()), J: info.JMVD(miner.Oracle(), phi)}
-	}
-	err := res.Err
-
-	if req.Mode == ModeSchemes && err == nil {
-		job.setPhase("schemes")
-		miner.EnumerateSchemes(res.MVDs, func(s *core.Scheme) bool {
-			sr := SchemeResult{
-				Schema:    s.Schema.Format(r.Names()),
-				J:         s.J,
-				Relations: s.M(),
-				Width:     s.Schema.Width(),
-			}
-			// Quality metrics are best-effort: a scheme whose metrics
-			// cannot be computed still counts as mined.
-			if met, merr := decompose.Analyze(r, s.Schema); merr == nil {
-				sr.SavingsPct = met.SavingsPct
-				sr.SpuriousPct = met.SpuriousPct
-			}
-			out.Schemes = append(out.Schemes, sr)
-			job.schemes.Add(1)
-			return req.MaxSchemes <= 0 || len(out.Schemes) < req.MaxSchemes
-		})
-		if cerr := ctx.Err(); cerr != nil {
-			if errors.Is(cerr, context.DeadlineExceeded) {
-				err = core.ErrInterrupted
-			} else {
-				err = cerr
-			}
+	fillMVDs := func(res *core.MVDResult) {
+		out.NumMinSeps = res.NumMinSeps()
+		out.MVDs = make([]MVDItem, len(res.MVDs))
+		for i, phi := range res.MVDs {
+			out.MVDs[i] = MVDItem{MVD: phi.Format(r.Names()), J: sess.J(phi)}
 		}
+	}
+
+	if req.Mode == ModeMVDs {
+		res, err := sess.MineMVDs(ctx, opts...)
+		if res == nil {
+			// Possible despite normalize(): the dataset was swapped for an
+			// unminable one (removed and re-registered under the same
+			// name) between submit and run.
+			return out, err
+		}
+		fillMVDs(res)
+		return out, err
+	}
+
+	schemes, res, err := sess.MineSchemes(ctx, append(opts, maimon.WithMaxSchemes(req.MaxSchemes))...)
+	if res == nil {
+		return out, err
+	}
+	fillMVDs(res)
+	for _, s := range schemes {
+		sr := SchemeResult{
+			Schema:    s.Schema.Format(r.Names()),
+			J:         s.J,
+			Relations: s.M(),
+			Width:     s.Schema.Width(),
+		}
+		// Quality metrics are best-effort: a scheme whose metrics
+		// cannot be computed still counts as mined.
+		if met, merr := sess.Analyze(s.Schema); merr == nil {
+			sr.SavingsPct = met.SavingsPct
+			sr.SpuriousPct = met.SpuriousPct
+		}
+		out.Schemes = append(out.Schemes, sr)
 	}
 	return out, err
 }

@@ -1,14 +1,17 @@
 // Package service is the resident mining service behind cmd/maimond: a
-// dataset registry that loads and dictionary-encodes relations once and
-// shares them read-only across jobs, a job manager running mining jobs on
-// a bounded worker pool with an async lifecycle (queued → running →
-// done/failed/cancelled) and per-job cancellation via context, a result
-// cache keyed on (dataset, ε, options), and the HTTP handler exposing it
-// all as a JSON API.
+// session registry that loads and dictionary-encodes relations once,
+// opening one shared maimon.Session per dataset so every job over a
+// dataset mines against the same warm entropy state; a job manager
+// running mining jobs on a bounded worker pool with an async lifecycle
+// (queued → running → done/failed/cancelled) and per-job cancellation via
+// context; a result cache keyed per session; and the HTTP handler
+// exposing it all as a JSON API, versioned under /v1 with unversioned
+// aliases.
 //
-// The split from the library facade is deliberate: the facade stays a
-// thin synchronous wrapper over internal/core, while this package owns
-// everything stateful — registration, queueing, concurrency, caching.
+// The split from the library facade is deliberate: the facade owns the
+// Session abstraction (warm oracle, streaming, progress events), while
+// this package owns everything service-shaped — registration, queueing,
+// job lifecycle, result caching.
 package service
 
 import (
@@ -18,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	maimon "repro"
 	"repro/internal/relation"
 )
 
@@ -30,18 +34,25 @@ type DatasetInfo struct {
 	LoadedAt time.Time `json:"loaded_at"`
 }
 
-// Registry holds the datasets jobs mine. A relation is parsed and
-// dictionary-encoded once at registration; afterwards it is shared
-// read-only, so any number of concurrent jobs (each with its own entropy
-// oracle) can mine it without copying or locking the data itself.
+// Registry holds one maimon.Session per registered dataset. A relation is
+// parsed, dictionary-encoded, and wrapped in a Session once at
+// registration; afterwards any number of concurrent jobs mine through the
+// shared session, so the PLI partitions and entropies one job computes
+// warm every later job on the same dataset (sessions are concurrency-
+// safe by construction).
 type Registry struct {
-	mu sync.RWMutex
-	m  map[string]*entry
+	mu  sync.RWMutex
+	m   map[string]*entry
+	seq int64
 }
 
 type entry struct {
-	rel  *relation.Relation
+	sess *maimon.Session
 	info DatasetInfo
+	// id distinguishes incarnations: removing and re-registering a
+	// dataset under the same name yields a fresh session with a fresh id,
+	// so cached results of the old incarnation can never serve the new.
+	id int64
 }
 
 // NewRegistry returns an empty registry.
@@ -49,11 +60,16 @@ func NewRegistry() *Registry {
 	return &Registry{m: make(map[string]*entry)}
 }
 
-// Add registers r under name. Names are unique: re-registering is an
-// error (delete first), which keeps cached results unambiguous.
+// Add opens a session over r and registers it under name. Names are
+// unique: re-registering is an error (delete first), which keeps cached
+// results unambiguous.
 func (g *Registry) Add(name string, r *relation.Relation) (DatasetInfo, error) {
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("service: dataset name must not be empty")
+	}
+	sess, err := maimon.Open(r)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: opening session for %q: %w", name, err)
 	}
 	info := DatasetInfo{
 		Name:     name,
@@ -67,7 +83,8 @@ func (g *Registry) Add(name string, r *relation.Relation) (DatasetInfo, error) {
 	if _, dup := g.m[name]; dup {
 		return DatasetInfo{}, fmt.Errorf("service: dataset %q already registered", name)
 	}
-	g.m[name] = &entry{rel: r, info: info}
+	g.seq++
+	g.m[name] = &entry{sess: sess, info: info, id: g.seq}
 	return info, nil
 }
 
@@ -81,15 +98,21 @@ func (g *Registry) AddCSV(name string, rd io.Reader, header bool) (DatasetInfo, 
 	return g.Add(name, r)
 }
 
-// Get returns the relation registered under name.
-func (g *Registry) Get(name string) (*relation.Relation, bool) {
+// Get returns the session registered under name.
+func (g *Registry) Get(name string) (*maimon.Session, bool) {
+	s, _, ok := g.lookup(name)
+	return s, ok
+}
+
+// lookup returns the session, its incarnation id, and whether it exists.
+func (g *Registry) lookup(name string) (*maimon.Session, int64, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	e, ok := g.m[name]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
-	return e.rel, true
+	return e.sess, e.id, true
 }
 
 // Info returns the metadata of the dataset registered under name.
@@ -115,13 +138,21 @@ func (g *Registry) List() []DatasetInfo {
 	return out
 }
 
-// Remove deletes the dataset and reports whether it existed. Jobs already
-// running on it keep their reference and finish normally; the manager
-// additionally drops the dataset's cached results.
+// Remove deletes the dataset and reports whether it existed along with
+// the removed incarnation's id (for cache invalidation). Jobs already
+// running on it keep their session reference and finish normally.
 func (g *Registry) Remove(name string) bool {
+	removed, _ := g.remove(name)
+	return removed
+}
+
+func (g *Registry) remove(name string) (bool, int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	_, ok := g.m[name]
+	e, ok := g.m[name]
+	if !ok {
+		return false, 0
+	}
 	delete(g.m, name)
-	return ok
+	return true, e.id
 }

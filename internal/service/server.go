@@ -11,34 +11,42 @@ import (
 // maxUploadBytes bounds a dataset upload (64 MiB of CSV).
 const maxUploadBytes = 64 << 20
 
-// NewServer returns the maimond HTTP handler over a manager:
+// NewServer returns the maimond HTTP handler over a manager. Routes are
+// versioned under /v1; the unversioned paths remain as aliases for
+// pre-versioning clients and serve identical payloads:
 //
-//	POST   /datasets?name=N[&header=false]  upload a CSV body, register it
-//	GET    /datasets                        list registered datasets
-//	GET    /datasets/{name}                 dataset metadata
-//	DELETE /datasets/{name}                 unregister + drop cached results
-//	POST   /jobs                            submit a mining job (JSON body)
-//	GET    /jobs                            list jobs (status snapshots)
-//	GET    /jobs/{id}                       poll one job's status/progress
-//	GET    /jobs/{id}/result                fetch a done job's result
-//	DELETE /jobs/{id}                       cancel a queued/running job
-//	GET    /healthz                         liveness + pool/cache counters
+//	POST   /v1/datasets?name=N[&header=false]  upload a CSV body, register it
+//	GET    /v1/datasets                        list registered datasets
+//	GET    /v1/datasets/{name}                 dataset metadata
+//	DELETE /v1/datasets/{name}                 unregister + drop cached results
+//	POST   /v1/jobs                            submit a mining job (JSON body)
+//	GET    /v1/jobs                            list jobs (status snapshots)
+//	GET    /v1/jobs/{id}                       poll status + live progress
+//	                                           (phase, pairs done/total,
+//	                                           candidates, MVDs, schemes —
+//	                                           sourced from the miner's
+//	                                           event stream)
+//	GET    /v1/jobs/{id}/result                fetch a done job's result
+//	DELETE /v1/jobs/{id}                       cancel a queued/running job
+//	GET    /v1/healthz                         liveness + pool/cache counters
 //
 // All responses are JSON; errors use {"error": "..."} with a matching
 // status code.
 func NewServer(m *Manager) http.Handler {
 	s := &server{mgr: m}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /datasets", s.postDataset)
-	mux.HandleFunc("GET /datasets", s.listDatasets)
-	mux.HandleFunc("GET /datasets/{name}", s.getDataset)
-	mux.HandleFunc("DELETE /datasets/{name}", s.deleteDataset)
-	mux.HandleFunc("POST /jobs", s.postJob)
-	mux.HandleFunc("GET /jobs", s.listJobs)
-	mux.HandleFunc("GET /jobs/{id}", s.getJob)
-	mux.HandleFunc("GET /jobs/{id}/result", s.getJobResult)
-	mux.HandleFunc("DELETE /jobs/{id}", s.deleteJob)
-	mux.HandleFunc("GET /healthz", s.healthz)
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("POST "+prefix+"/datasets", s.postDataset)
+		mux.HandleFunc("GET "+prefix+"/datasets", s.listDatasets)
+		mux.HandleFunc("GET "+prefix+"/datasets/{name}", s.getDataset)
+		mux.HandleFunc("DELETE "+prefix+"/datasets/{name}", s.deleteDataset)
+		mux.HandleFunc("POST "+prefix+"/jobs", s.postJob)
+		mux.HandleFunc("GET "+prefix+"/jobs", s.listJobs)
+		mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.getJob)
+		mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.getJobResult)
+		mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.deleteJob)
+		mux.HandleFunc("GET "+prefix+"/healthz", s.healthz)
+	}
 	return mux
 }
 

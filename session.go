@@ -1,0 +1,298 @@
+package maimon
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/entropy"
+	"repro/internal/info"
+	"repro/internal/pli"
+)
+
+// Progress is a structured progress event emitted from the mining loops
+// when WithProgress is set: phase ("minseps", "mvds", "schemes"), pairs
+// done/total, separators and candidate MVDs evaluated, full MVDs and
+// schemes streamed so far. Events are cumulative snapshots; the callback
+// runs synchronously on the mining goroutine and must be fast.
+type Progress = core.Progress
+
+// PLIConfig tunes the PLI partition cache behind a session's entropy
+// oracle: BlockSize is the paper's L (Sec. 6.3), MaxEntries caps retained
+// partitions (0 = unlimited).
+type PLIConfig = pli.Config
+
+// Stats is a snapshot of a session's entropy-oracle counters: H calls,
+// memo hits, MI evaluations, and the PLI cache counters beneath them. The
+// paper calls entropy computation "the most expensive operation of
+// Maimon"; these numbers are its true cost, and HCached growing across
+// mines is the signature of warm-state reuse.
+type Stats = entropy.Stats
+
+// DefaultPLIConfig mirrors the paper's implementation choices (L = 10,
+// unlimited cache).
+func DefaultPLIConfig() PLIConfig { return pli.DefaultConfig() }
+
+// config is the resolved option set. A Session keeps the Open-time config
+// as its per-call defaults; each mining call starts from a copy.
+type config struct {
+	epsilon    float64
+	timeout    time.Duration
+	maxSchemes int
+	pruning    bool
+	pairs      [][2]int
+	pliCfg     PLIConfig
+	progress   func(Progress)
+}
+
+func defaultSessionConfig() config {
+	return config{pruning: true, pliCfg: pli.DefaultConfig()}
+}
+
+func (c config) with(opts []Option) config {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Option configures Open and the Session mining methods. Options given to
+// Open become the session's defaults; options given to a mining call
+// override them for that call only.
+type Option func(*config)
+
+// WithEpsilon sets the approximation threshold ε ≥ 0 in bits; 0 (the
+// default) mines exact dependencies.
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithTimeout bounds one mining call's total wall-clock time across both
+// phases; zero (the default) means unlimited. It is implemented as a
+// single context.WithTimeout layered over the caller's context — the
+// session path arms exactly one timer, so whichever of the caller's
+// deadline and this timeout is earlier fires, surfacing as
+// ErrInterrupted.
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithMaxSchemes bounds how many schemes MineSchemes returns and
+// SchemeSeq yields (0 = all, the default).
+func WithMaxSchemes(n int) Option { return func(c *config) { c.maxSchemes = n } }
+
+// WithPruning toggles the pairwise-consistency optimization (paper App.
+// 12.3). It is on by default; turning it off is intended for ablation
+// only.
+func WithPruning(on bool) Option { return func(c *config) { c.pruning = on } }
+
+// WithPairs restricts MVDMiner to the given attribute pairs; nil (the
+// default) mines all pairs.
+func WithPairs(pairs [][2]int) Option { return func(c *config) { c.pairs = pairs } }
+
+// WithPLIConfig sets the PLI cache configuration of the session's entropy
+// oracle. It is honored by Open only — the oracle is built once per
+// session — and ignored by the per-call mining methods.
+func WithPLIConfig(cfg PLIConfig) Option { return func(c *config) { c.pliCfg = cfg } }
+
+// WithProgress installs a callback receiving structured Progress events
+// from the core mining loops.
+func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
+
+// coreOptions lowers the resolved config to core.Options. The timeout is
+// deliberately absent: session calls bound time exclusively through the
+// context (mineContext), never through the core per-phase Budget, so
+// exactly one timer is armed per call.
+func (c config) coreOptions() core.Options {
+	o := core.DefaultOptions(c.epsilon)
+	o.PairwiseConsistency = c.pruning
+	o.Pairs = c.pairs
+	o.Progress = c.progress
+	return o
+}
+
+// mineContext derives the context one mining call observes: the caller's
+// ctx with the configured timeout layered on top when set.
+func (c config) mineContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Session is a reusable, concurrency-safe mining handle over one
+// relation. It owns the expensive state — the dictionary-encoded relation,
+// the PLI partition cache, and the entropy memo — and shares it across
+// every call, so a second mine at a different ε pays only for the entropy
+// sets it has not seen yet (the workload of the paper's figures, which
+// re-score one instance under many thresholds).
+//
+// All methods are safe for concurrent use: the shared oracle serves warm
+// entropies under a read lock and serializes fresh partition computation,
+// while each call runs its own single-threaded miner as in the paper.
+type Session struct {
+	rel    *Relation
+	oracle *entropy.Oracle
+	base   config
+}
+
+// Open builds a session over r. Options become the session's per-call
+// defaults (WithPLIConfig additionally sizes the oracle, which is built
+// here, once).
+func Open(r *Relation, opts ...Option) (*Session, error) {
+	return open(r, true, opts)
+}
+
+// openUnshared builds a session whose oracle skips the concurrency
+// locking — for the deprecated one-shot wrappers, which create, use, and
+// drop the session on a single goroutine.
+func openUnshared(r *Relation, opts ...Option) (*Session, error) {
+	return open(r, false, opts)
+}
+
+func open(r *Relation, shared bool, opts []Option) (*Session, error) {
+	if r == nil {
+		return nil, errors.New("maimon: Open on a nil relation")
+	}
+	cfg := defaultSessionConfig().with(opts)
+	var oracle *entropy.Oracle
+	if shared {
+		oracle = entropy.NewShared(r, cfg.pliCfg)
+	} else {
+		oracle = entropy.NewWithConfig(r, cfg.pliCfg)
+	}
+	return &Session{rel: r, oracle: oracle, base: cfg}, nil
+}
+
+// Relation returns the relation the session mines.
+func (s *Session) Relation() *Relation { return s.rel }
+
+// Stats snapshots the session's entropy-oracle counters. The delta across
+// two mines measures what the second one actually cost; HCached growing
+// is the warm-oracle reuse the session exists for.
+func (s *Session) Stats() Stats { return s.oracle.Stats() }
+
+// config resolves one call's options over the session defaults.
+func (s *Session) config(opts []Option) config { return s.base.with(opts) }
+
+// miner builds the per-call miner: session-shared oracle, call-local
+// options and context.
+func (s *Session) miner(cfg config, ctx context.Context) *core.Miner {
+	return core.NewMiner(s.oracle, cfg.coreOptions()).WithContext(ctx)
+}
+
+func (s *Session) checkArity(what string) error {
+	if s.rel.NumCols() < 3 {
+		return errors.New("maimon: need at least 3 attributes to mine " + what)
+	}
+	return nil
+}
+
+// MineMVDs runs phase 1 (MVDMiner): it returns Mε, the full ε-MVDs with
+// minimal-separator keys, from which every ε-MVD of the relation follows
+// by Shannon inequalities (paper Thm. 5.7). Cancelling ctx stops the
+// search promptly and returns the ε-MVDs mined so far together with
+// context.Canceled; a deadline (ctx's or WithTimeout) surfaces as
+// ErrInterrupted.
+func (s *Session) MineMVDs(ctx context.Context, opts ...Option) (*MVDResult, error) {
+	if err := s.checkArity("MVDs"); err != nil {
+		return nil, err
+	}
+	cfg := s.config(opts)
+	ctx, cancel := cfg.mineContext(ctx)
+	defer cancel()
+	res := s.miner(cfg, ctx).MineMVDs()
+	return res, res.Err
+}
+
+// MineMinSeps runs only the separator phase for every attribute pair —
+// the workload of the paper's scalability experiments (Sec. 8.3). The
+// result's MinSeps map is filled; no full MVDs are expanded.
+func (s *Session) MineMinSeps(ctx context.Context, opts ...Option) (*MVDResult, error) {
+	if err := s.checkArity("separators"); err != nil {
+		return nil, err
+	}
+	cfg := s.config(opts)
+	ctx, cancel := cfg.mineContext(ctx)
+	defer cancel()
+	res := s.miner(cfg, ctx).MineMinSepsAll()
+	return res, res.Err
+}
+
+// MineSchemes runs both phases and returns the non-extendable acyclic
+// ε-schemas synthesized from maximal compatible MVD sets, along with the
+// phase-1 result. Schemes arrive in enumeration order; use Analyze to
+// rank them by savings and spurious-tuple rate, or SchemeSeq to consume
+// them as they are synthesized.
+func (s *Session) MineSchemes(ctx context.Context, opts ...Option) ([]*Scheme, *MVDResult, error) {
+	if err := s.checkArity("schemes"); err != nil {
+		return nil, nil, err
+	}
+	cfg := s.config(opts)
+	ctx, cancel := cfg.mineContext(ctx)
+	defer cancel()
+	schemes, res := s.miner(cfg, ctx).MineSchemes(cfg.maxSchemes)
+	return schemes, res, res.Err
+}
+
+// SchemeSeq mines schemes as a stream: phase 1 runs first, then each
+// scheme is yielded the moment ASMiner synthesizes it, without collecting
+// the whole result set. Breaking out of the range loop stops the
+// underlying miner immediately (the enumeration runs inline on the
+// consumer's goroutine — there is nothing left running). A phase-1
+// failure, a deadline, or a cancelled ctx surfaces as a final
+// (nil, error) yield; WithMaxSchemes bounds the yields.
+//
+//	for scheme, err := range session.SchemeSeq(ctx, maimon.WithEpsilon(0.1)) {
+//	    if err != nil { ... }
+//	    use(scheme)
+//	}
+func (s *Session) SchemeSeq(ctx context.Context, opts ...Option) iter.Seq2[*Scheme, error] {
+	return func(yield func(*Scheme, error) bool) {
+		if err := s.checkArity("schemes"); err != nil {
+			yield(nil, err)
+			return
+		}
+		cfg := s.config(opts)
+		ctx, cancel := cfg.mineContext(ctx)
+		defer cancel()
+		m := s.miner(cfg, ctx)
+		res := m.MineMVDs()
+		if res.Err != nil {
+			yield(nil, res.Err)
+			return
+		}
+		count := 0
+		broke := false
+		m.EnumerateSchemes(res.MVDs, func(sc *Scheme) bool {
+			if !yield(sc, nil) {
+				broke = true
+				return false
+			}
+			count++
+			return cfg.maxSchemes <= 0 || count < cfg.maxSchemes
+		})
+		if err := m.Err(); err != nil && !broke {
+			yield(nil, err)
+		}
+	}
+}
+
+// J returns the J-measure (bits) of an MVD over the relation's empirical
+// distribution, served from the warm oracle: 0 iff the MVD holds exactly.
+func (s *Session) J(m MVD) float64 { return info.JMVD(s.oracle, m) }
+
+// JOfSchema returns the J-measure of an acyclic schema (errors when the
+// schema is cyclic), served from the warm oracle.
+func (s *Session) JOfSchema(sch Schema) (float64, error) {
+	return info.JSchema(s.oracle, sch)
+}
+
+// Analyze computes decomposition-quality metrics (storage savings S,
+// spurious-tuple rate E, width measures) of schema sch over the session's
+// relation.
+func (s *Session) Analyze(sch Schema) (Metrics, error) {
+	return decompose.Analyze(s.rel, sch)
+}

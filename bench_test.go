@@ -12,6 +12,7 @@ package maimon
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -203,6 +204,39 @@ func BenchmarkSessionSchemeSeq(b *testing.B) {
 	}
 	if events == 0 {
 		b.Fatal("no progress events")
+	}
+}
+
+// BenchmarkParallelWarmMining measures the per-pair fan-out of the
+// parallel pipeline over a warm session: phase 1 re-mined at increasing
+// worker counts, all entropies already memoized, so the benchmark
+// isolates the parallel search itself. On a multicore box the workers=4
+// rung should approach a 4× speedup over workers=1; on a single-CPU
+// container (GOMAXPROCS=1) the rungs stay flat and only measure fan-out
+// overhead. cmd/experiments -bench-json runs the same protocol on the
+// planted and nursery generators and records BENCH_parallel.json.
+func BenchmarkParallelWarmMining(b *testing.B) {
+	r := datagen.Nursery().Head(3000)
+	s, err := Open(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.MineMVDs(ctx, WithEpsilon(0.1)); err != nil {
+		b.Fatal(err) // warm the oracle once
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := s.MineMVDs(ctx, WithEpsilon(0.1), WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.MVDs) == 0 {
+					b.Fatal("no MVDs mined")
+				}
+			}
+		})
 	}
 }
 

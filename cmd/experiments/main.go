@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,15 +45,18 @@ func runAblations(cfg experiments.Config) string {
 
 func main() {
 	var (
-		budget  = flag.Duration("budget", 5*time.Second, "time budget per mining invocation")
-		scale   = flag.Int("scale", 0, "row cap for analog datasets (0 = 10000)")
-		epsList = flag.String("epsilons", "", "comma-separated ε sweep (default 0,0.05,0.1,0.2,0.3,0.4,0.5)")
+		budget    = flag.Duration("budget", 5*time.Second, "time budget per mining invocation")
+		scale     = flag.Int("scale", 0, "row cap for analog datasets (0 = 10000)")
+		epsList   = flag.String("epsilons", "", "comma-separated ε sweep (default 0,0.05,0.1,0.2,0.3,0.4,0.5)")
+		workers   = flag.Int("workers", 0, "parallel mining fan-out for the drivers (<= 1 = serial, the paper's setting)")
+		benchJSON = flag.String("bench-json", "", "run the warm-parallel-vs-serial bench and write its rows to this JSON file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
-		Out:    os.Stdout,
-		Budget: *budget,
-		Scale:  *scale,
+		Out:     os.Stdout,
+		Budget:  *budget,
+		Scale:   *scale,
+		Workers: *workers,
 	}
 	if *epsList != "" {
 		for _, part := range strings.Split(*epsList, ",") {
@@ -63,6 +67,13 @@ func main() {
 			}
 			cfg.Epsilons = append(cfg.Epsilons, v)
 		}
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(cfg, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -95,6 +106,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// writeBenchJSON runs the warm-parallel-vs-serial benchmark and records
+// its machine-readable rows — {dataset, workers, wall_ms, h_calls,
+// speedup} — so the perf trajectory of the parallel pipeline is tracked
+// across commits (BENCH_parallel.json at the repo root).
+func writeBenchJSON(cfg experiments.Config, path string) error {
+	rows, _, err := experiments.ParallelBench(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bench rows to %s\n", len(rows), path)
+	return nil
 }
 
 func banner(title string) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
-//	       [-timeout 30s] [-max-schemes 50] [-fds] [-v]
+//	       [-timeout 30s] [-max-schemes 50] [-workers 0] [-fds] [-v]
 //
 // Modes:
 //
@@ -49,6 +49,7 @@ func main() {
 		schemaSpec = flag.String("schema", "", "decompose mode: explicit schema, bags separated by ';' (e.g. \"A,B,D;A,C,D;B,D,E;A,F\")")
 		outDir     = flag.String("out", "decomposed", "decompose mode: output directory")
 		rank       = flag.String("rank", "savings", "schemes mode ordering: savings | j | relations | width")
+		workers    = flag.Int("workers", 0, "parallel mining fan-out (0 = GOMAXPROCS, 1 = serial)")
 		verbose    = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
 	)
 	flag.Parse()
@@ -72,7 +73,8 @@ func main() {
 		defer cancel()
 	}
 
-	sess, err := maimon.Open(r, maimon.WithEpsilon(*epsilon), maimon.WithMaxSchemes(*maxSchemes))
+	sess, err := maimon.Open(r, maimon.WithEpsilon(*epsilon), maimon.WithMaxSchemes(*maxSchemes),
+		maimon.WithWorkers(*workers))
 	if err != nil {
 		fail("%v", err)
 	}

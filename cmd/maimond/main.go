@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	maimond [-addr :8080] [-workers N] [-queue 256] [-job-timeout 0]
-//	        [-load name=path.csv ...] [-nursery]
+//	maimond [-addr :8080] [-workers N] [-mine-workers 1] [-queue 256]
+//	        [-job-timeout 0] [-load name=path.csv ...] [-nursery]
 //
 // API (versioned under /v1; the unversioned paths remain as aliases —
 // see README.md for curl examples):
@@ -49,12 +49,13 @@ func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
 func main() {
 	var loads loadFlags
 	var (
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		workers    = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 256, "job queue depth (submits beyond it are rejected)")
-		jobTimeout = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
-		maxJobs    = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
-		nursery    = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		workers     = flag.Int("workers", 0, "mining worker pool size — concurrent jobs (0 = GOMAXPROCS)")
+		mineWorkers = flag.Int("mine-workers", 1, "default per-job parallel fan-out (jobs may override with \"workers\"; capped at GOMAXPROCS)")
+		queue       = flag.Int("queue", 256, "job queue depth (submits beyond it are rejected)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
+		maxJobs     = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
+		nursery     = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
 	)
 	flag.Var(&loads, "load", "preload a dataset: name=path.csv (repeatable)")
 	flag.Parse()
@@ -85,6 +86,7 @@ func main() {
 
 	mgr := service.NewManager(reg, service.Config{
 		Workers:        *workers,
+		MineWorkers:    *mineWorkers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *jobTimeout,
 		MaxJobs:        *maxJobs,

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/bitset"
 	"repro/internal/info"
 	"repro/internal/mis"
@@ -33,19 +36,8 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 	ms := append([]mvd.MVD(nil), mvds...)
 	mvd.Sort(ms)
 	g := mis.NewGraph(len(ms))
-	for i := range ms {
-		// The incompatibility graph is quadratic in |Mε| (tens of
-		// thousands of MVDs on wide approximate inputs), so cancellation
-		// must be observable while it is being built, not only once
-		// enumeration starts.
-		if m.stopped() {
-			return
-		}
-		for j := i + 1; j < len(ms); j++ {
-			if Incompatible(ms[i], ms[j]) {
-				g.AddEdge(i, j)
-			}
-		}
+	if !m.buildIncompatibilityGraph(g, ms) {
+		return // cancelled or past the deadline mid-build
 	}
 	enumerate := g.EnumerateBK
 	if m.opts.UseJPYEnumerator {
@@ -90,6 +82,72 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 		})
 		return emit(s)
 	})
+}
+
+// buildIncompatibilityGraph fills g with the edges of Eq. 15. The graph
+// is quadratic in |Mε| (tens of thousands of MVDs on wide approximate
+// inputs), so cancellation must be observable while it is being built,
+// not only once enumeration starts; it reports false when the build was
+// cut short. With Options.Workers > 1 the upper-triangle rows are
+// computed by a pool of goroutines claiming row stripes off an atomic
+// cursor (Incompatible is pure, so this needs no oracle sharing), then
+// folded into g serially — the edge set, and thus every enumerated
+// scheme, is identical to a serial build.
+func (m *Miner) buildIncompatibilityGraph(g *mis.Graph, ms []mvd.MVD) bool {
+	workers := m.opts.Workers
+	if workers <= 1 || len(ms) < 64 {
+		for i := range ms {
+			if m.stopped() {
+				return false
+			}
+			for j := i + 1; j < len(ms); j++ {
+				if Incompatible(ms[i], ms[j]) {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		return true
+	}
+	rows := make([][]int32, len(ms))
+	var next atomic.Int64
+	var bail atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ms) || bail.Load() {
+					return
+				}
+				// Poll the stop conditions without mutating shared miner
+				// state (stopped() records the cause; the parent does
+				// that once, after the join).
+				if m.ctx.Err() != nil || m.opts.expired() {
+					bail.Store(true)
+					return
+				}
+				var row []int32
+				for j := i + 1; j < len(ms); j++ {
+					if Incompatible(ms[i], ms[j]) {
+						row = append(row, int32(j))
+					}
+				}
+				rows[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	if m.stopped() {
+		return false
+	}
+	for i, row := range rows {
+		for _, j := range row {
+			g.AddEdge(i, int(j))
+		}
+	}
+	return true
 }
 
 // MineSchemes runs both phases end to end and collects up to maxSchemes

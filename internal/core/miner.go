@@ -53,20 +53,23 @@ func (r *MVDResult) NumMinSeps() int {
 // MineMVDs is MVDMiner (Fig. 3): for every attribute pair (or the pairs
 // restricted by Options.Pairs), mine the minimal separators and then the
 // full ε-MVDs for each separator; return their union Mε.
+//
+// With Options.Workers > 1 (and a shared oracle) the pairs are fanned out
+// across a bounded worker pool and the outcomes merged back in canonical
+// pair order; the result is identical to a serial run.
 func (m *Miner) MineMVDs() *MVDResult {
 	m.beginPhase()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
 	seen := make(map[string]bool)
 	pairs := m.opts.Pairs
 	if pairs == nil {
-		n := m.oracle.NumAttrs()
-		for a := 0; a < n; a++ {
-			for b := a + 1; b < n; b++ {
-				pairs = append(pairs, [2]int{a, b})
-			}
-		}
+		pairs = allPairs(m.oracle.NumAttrs())
 	}
 	m.emitProgress(Progress{Phase: "mvds", PairsTotal: len(pairs)})
+	if w := m.workers(); w > 1 && len(pairs) > 1 {
+		m.mineMVDsParallel(pairs, res, w, "mvds", true)
+		return res
+	}
 	for done, p := range pairs {
 		if m.stopped() {
 			break
@@ -109,34 +112,37 @@ func (m *Miner) MineMVDs() *MVDResult {
 
 // MineMinSepsAll runs only the separator phase for every pair — the
 // workload measured by the paper's scalability experiments (Sec. 8.3),
-// which report that separator mining dominates total runtime.
+// which report that separator mining dominates total runtime. Like
+// MineMVDs it fans the pairs out when Options.Workers > 1.
 func (m *Miner) MineMinSepsAll() *MVDResult {
 	m.beginPhase()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
-	n := m.oracle.NumAttrs()
-	total := n * (n - 1) / 2
-	m.emitProgress(Progress{Phase: "minseps", PairsTotal: total})
+	pairs := allPairs(m.oracle.NumAttrs())
+	m.emitProgress(Progress{Phase: "minseps", PairsTotal: len(pairs)})
+	if w := m.workers(); w > 1 && len(pairs) > 1 {
+		m.mineMVDsParallel(pairs, res, w, "minseps", false)
+		return res
+	}
 	done := 0
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			if m.stopped() {
-				res.Err = m.interruptErr()
-				return res
-			}
-			seps := m.MineMinSeps(a, b)
-			if len(seps) > 0 {
-				res.MinSeps[Pair{a, b}] = seps
-			}
-			done++
-			if m.opts.Progress != nil { // see MineMVDs: skip the map walk unobserved
-				m.emitProgress(Progress{
-					Phase:      "minseps",
-					PairsDone:  done,
-					PairsTotal: total,
-					Separators: res.NumMinSeps(),
-					Candidates: m.searchStats.Visited,
-				})
-			}
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		if m.stopped() {
+			res.Err = m.interruptErr()
+			return res
+		}
+		seps := m.MineMinSeps(a, b)
+		if len(seps) > 0 {
+			res.MinSeps[Pair{a, b}] = seps
+		}
+		done++
+		if m.opts.Progress != nil { // see MineMVDs: skip the map walk unobserved
+			m.emitProgress(Progress{
+				Phase:      "minseps",
+				PairsDone:  done,
+				PairsTotal: len(pairs),
+				Separators: res.NumMinSeps(),
+				Candidates: m.searchStats.Visited,
+			})
 		}
 	}
 	res.Err = m.interruptErr()

@@ -60,6 +60,18 @@ type Options struct {
 	// the Johnson–Papadimitriou–Yannakakis queue scheme the paper cites
 	// (Thm. 7.3; polynomial delay, higher memory).
 	UseJPYEnumerator bool
+
+	// Workers is the fan-out of the parallel mining pipeline. MineMVDs
+	// and MineMinSepsAll distribute attribute pairs across a bounded pool
+	// of worker miners over the shared oracle (the paper's Fig. 3 loop is
+	// embarrassingly parallel), and EnumerateSchemes stripes the
+	// incompatibility-graph build. <= 1 means serial, the default.
+	//
+	// Values > 1 require an oracle built with entropy.NewShared; over an
+	// unshared oracle the miners fall back to serial rather than race on
+	// its plain maps. Results are merged back in canonical pair order and
+	// are identical to a serial run on the same inputs.
+	Workers int
 }
 
 // DefaultOptions returns the configuration matching the paper's system:

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/mvd"
+)
+
+// This file is the parallel mining pipeline (Options.Workers > 1): the
+// per-attribute-pair fan-out of MVDMiner and the separator-only phase.
+// Each worker goroutine runs its own cheap Miner view (fork) over the
+// shared single-flight oracle; per-pair outcomes are written into a slot
+// array and merged back in canonical pair order, so a parallel run
+// produces byte-identical results to a serial one.
+
+// fork returns a worker-local view of the miner: same oracle, options and
+// context, fresh counters. The progress callback is stripped — the
+// parallel drivers aggregate and emit progress themselves.
+func (m *Miner) fork() *Miner {
+	w := &Miner{oracle: m.oracle, opts: m.opts, ctx: m.ctx}
+	w.opts.Progress = nil
+	return w
+}
+
+// workers resolves the fan-out for the oracle-bound phases: serial unless
+// Options.Workers asks for more and the oracle is safe to share.
+func (m *Miner) workers() int {
+	if w := m.opts.Workers; w > 1 && m.oracle.Shared() {
+		return w
+	}
+	return 1
+}
+
+// add accumulates worker counters into s.
+func (s *SearchStats) add(o SearchStats) {
+	s.Searches += o.Searches
+	s.Visited += o.Visited
+	s.Pruned += o.Pruned
+	s.Truncated += o.Truncated
+	s.JEvals += o.JEvals
+	s.Repairs += o.Repairs
+	s.TimeoutHit = s.TimeoutHit || o.TimeoutHit
+}
+
+// pairOutcome is one attribute pair's mining product, indexed by the
+// pair's position in the canonical pair list.
+type pairOutcome struct {
+	seps  []bitset.AttrSet
+	mvds  []mvd.MVD // locally deduped, discovery order
+	trace MinSepTrace
+}
+
+// progressAgg serializes progress emission from worker goroutines and
+// keeps the cumulative counters the events carry. PairsDone is advanced
+// atomically; the other counters are folded in under mu as pairs
+// complete, so every event is a consistent snapshot.
+type progressAgg struct {
+	emit       func(Progress)
+	phase      string
+	pairsTotal int
+	pairsDone  atomic.Int64
+
+	mu         sync.Mutex
+	seen       map[string]bool // live MVD dedup, display only
+	separators int
+	candidates int
+	mvds       int
+}
+
+func newProgressAgg(emit func(Progress), phase string, total int) *progressAgg {
+	a := &progressAgg{emit: emit, phase: phase, pairsTotal: total}
+	if emit != nil {
+		a.seen = make(map[string]bool)
+	}
+	return a
+}
+
+// pairDone folds one completed pair into the aggregate and emits an
+// event. With a nil callback only the atomic counter advances; with a
+// callback the increment happens under mu, so events carry strictly
+// increasing PairsDone and the final event reports PairsTotal.
+func (a *progressAgg) pairDone(out *pairOutcome, visited int) {
+	if a.emit == nil {
+		a.pairsDone.Add(1)
+		return
+	}
+	a.mu.Lock()
+	done := int(a.pairsDone.Add(1))
+	a.separators += len(out.seps)
+	a.candidates += visited
+	for _, phi := range out.mvds {
+		if fp := phi.Fingerprint(); !a.seen[fp] {
+			a.seen[fp] = true
+			a.mvds++
+		}
+	}
+	p := Progress{
+		Phase:      a.phase,
+		PairsDone:  done,
+		PairsTotal: a.pairsTotal,
+		Separators: a.separators,
+		Candidates: a.candidates,
+		MVDs:       a.mvds,
+	}
+	a.emit(p)
+	a.mu.Unlock()
+}
+
+// mineMVDsParallel is the fan-out body of MineMVDs: workers claim pairs
+// off an atomic cursor, mine separators and full MVDs with their own
+// miner view, and the driver merges the outcomes in canonical pair order.
+// expand=false restricts the work to the separator phase (MineMinSepsAll).
+func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, phase string, expand bool) {
+	outcomes := make([]pairOutcome, len(pairs))
+	agg := newProgressAgg(m.opts.Progress, phase, len(pairs))
+	var next atomic.Int64
+	var statsMu sync.Mutex
+	var wg sync.WaitGroup
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := m.fork()
+			defer func() {
+				statsMu.Lock()
+				m.searchStats.add(w.searchStats)
+				statsMu.Unlock()
+			}()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(pairs) || w.stopped() {
+					return
+				}
+				a, b := pairs[idx][0], pairs[idx][1]
+				if a > b {
+					a, b = b, a
+				}
+				out := &outcomes[idx]
+				before := w.searchStats.Visited
+				out.seps = w.MineMinSeps(a, b)
+				out.trace = w.minsepTrace
+				if expand {
+					localSeen := make(map[string]bool)
+					for _, sep := range out.seps {
+						if w.stopped() {
+							break
+						}
+						for _, phi := range w.GetFullMVDs(sep, a, b, w.opts.MaxFullMVDsPerSeparator) {
+							if fp := phi.Fingerprint(); !localSeen[fp] {
+								localSeen[fp] = true
+								out.mvds = append(out.mvds, phi)
+							}
+						}
+					}
+				}
+				agg.pairDone(out, w.searchStats.Visited-before)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in canonical pair order: the cross-pair fingerprint dedup
+	// replays exactly what the serial loop does, so res.MVDs (after the
+	// final canonical sort) and res.MinSeps are byte-identical to a
+	// workers=1 run.
+	seen := make(map[string]bool)
+	for idx := range outcomes {
+		a, b := pairs[idx][0], pairs[idx][1]
+		if a > b {
+			a, b = b, a
+		}
+		out := &outcomes[idx]
+		if len(out.seps) > 0 {
+			res.MinSeps[Pair{a, b}] = out.seps
+		}
+		for _, phi := range out.mvds {
+			if fp := phi.Fingerprint(); !seen[fp] {
+				seen[fp] = true
+				res.MVDs = append(res.MVDs, phi)
+			}
+		}
+	}
+	// LastMinSepTrace reports the most recent MineMinSeps call; in pair
+	// order that is the final pair, matching what a serial run leaves.
+	m.minsepTrace = outcomes[len(outcomes)-1].trace
+	// All workers observed the same context and deadline; one parent-side
+	// poll records the shared stop cause, exactly as the serial loop does.
+	m.stopped()
+	res.Err = m.interruptErr()
+	mvd.Sort(res.MVDs)
+}
+
+// allPairs returns the canonical attribute-pair list (a < b).
+func allPairs(n int) [][2]int {
+	pairs := make([][2]int, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/entropy"
+	"repro/internal/pli"
+	"repro/internal/relation"
+)
+
+// parallelTestRelations are the seeded datasets the determinism suite
+// mines: the planted acyclic join (exact MVDs), the same with noise
+// (approximate), the nursery reconstruction, and a random relation.
+func parallelTestRelations(t *testing.T) map[string]*relation.Relation {
+	t.Helper()
+	rels := make(map[string]*relation.Relation)
+	planted, _, err := datagen.Planted(datagen.PlantedSpec{
+		Bags: datagen.ChainBags(10, 4, 1), Seed: 11, RootTuples: 12, ExtPerSep: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels["planted"] = planted
+	noisy, _, err := datagen.Planted(datagen.PlantedSpec{
+		Bags: datagen.ChainBags(9, 4, 2), Seed: 5, RootTuples: 10, ExtPerSep: 2, NoiseCells: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels["planted-noisy"] = noisy
+	rels["nursery"] = datagen.Nursery().Head(1200)
+	rels["uniform"] = datagen.Uniform(400, 7, 3, 42)
+	return rels
+}
+
+func shared(r *relation.Relation) *entropy.Oracle {
+	return entropy.NewShared(r, pli.DefaultConfig())
+}
+
+// minedWith mines r end to end (phase 1 plus scheme enumeration) with the
+// given worker count over a fresh shared oracle and returns everything a
+// determinism comparison needs.
+func minedWith(r *relation.Relation, eps float64, workers int) (*MVDResult, []string) {
+	opts := DefaultOptions(eps)
+	opts.Workers = workers
+	m := NewMiner(shared(r), opts)
+	res := m.MineMVDs()
+	var schemes []string
+	m.EnumerateSchemes(res.MVDs, func(s *Scheme) bool {
+		schemes = append(schemes, s.Schema.Fingerprint())
+		return len(schemes) < 40
+	})
+	return res, schemes
+}
+
+// TestParallelMatchesSerial is the determinism contract of the parallel
+// pipeline: workers=1 and workers=8 must produce identical MVDs (order
+// included), identical per-pair minimal separators, identical NumMinSeps,
+// and an identical scheme stream.
+func TestParallelMatchesSerial(t *testing.T) {
+	for name, r := range parallelTestRelations(t) {
+		for _, eps := range []float64{0, 0.1} {
+			serialRes, serialSchemes := minedWith(r, eps, 1)
+			parRes, parSchemes := minedWith(r, eps, 8)
+			if serialRes.Err != nil || parRes.Err != nil {
+				t.Fatalf("%s eps=%v: unexpected errors %v / %v", name, eps, serialRes.Err, parRes.Err)
+			}
+			if len(parRes.MVDs) != len(serialRes.MVDs) {
+				t.Fatalf("%s eps=%v: %d parallel MVDs vs %d serial", name, eps, len(parRes.MVDs), len(serialRes.MVDs))
+			}
+			for i := range serialRes.MVDs {
+				if !parRes.MVDs[i].Equal(serialRes.MVDs[i]) {
+					t.Fatalf("%s eps=%v: MVD %d differs: %v vs %v", name, eps, i, parRes.MVDs[i], serialRes.MVDs[i])
+				}
+			}
+			if !reflect.DeepEqual(parRes.MinSeps, serialRes.MinSeps) {
+				t.Fatalf("%s eps=%v: MinSeps maps differ", name, eps)
+			}
+			if parRes.NumMinSeps() != serialRes.NumMinSeps() {
+				t.Fatalf("%s eps=%v: NumMinSeps %d vs %d", name, eps, parRes.NumMinSeps(), serialRes.NumMinSeps())
+			}
+			if !reflect.DeepEqual(parSchemes, serialSchemes) {
+				t.Fatalf("%s eps=%v: scheme streams differ (%d vs %d)", name, eps, len(parSchemes), len(serialSchemes))
+			}
+		}
+	}
+}
+
+// TestParallelMinSepsAllMatchesSerial covers the separator-only phase.
+func TestParallelMinSepsAllMatchesSerial(t *testing.T) {
+	r := datagen.Nursery().Head(1500)
+	for _, eps := range []float64{0, 0.2} {
+		serial := NewMiner(shared(r), func() Options { o := DefaultOptions(eps); o.Workers = 1; return o }()).MineMinSepsAll()
+		opts := DefaultOptions(eps)
+		opts.Workers = 6
+		par := NewMiner(shared(r), opts).MineMinSepsAll()
+		if serial.Err != nil || par.Err != nil {
+			t.Fatalf("eps=%v: unexpected errors %v / %v", eps, serial.Err, par.Err)
+		}
+		if !reflect.DeepEqual(par.MinSeps, serial.MinSeps) {
+			t.Fatalf("eps=%v: MinSeps differ", eps)
+		}
+	}
+}
+
+// TestParallelFallsBackOnUnsharedOracle: Workers > 1 over an oracle that
+// is not safe for concurrent use must mine serially, not race.
+func TestParallelFallsBackOnUnsharedOracle(t *testing.T) {
+	r := datagen.Nursery().Head(800)
+	opts := DefaultOptions(0.1)
+	opts.Workers = 8
+	m := NewMiner(entropy.New(r), opts) // unshared
+	if got := m.workers(); got != 1 {
+		t.Fatalf("workers() = %d over unshared oracle, want 1", got)
+	}
+	if res := m.MineMVDs(); res.Err != nil || len(res.MVDs) == 0 {
+		t.Fatalf("serial fallback failed: %+v", res.Err)
+	}
+}
+
+// TestParallelCancellation cancels mid-mine and expects a prompt stop
+// with context.Canceled, valid partial results, and no goroutine leak
+// (the driver joins its pool before returning).
+func TestParallelCancellation(t *testing.T) {
+	r := datagen.Nursery()
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := DefaultOptions(0.3)
+	opts.Workers = 4
+	events := 0
+	opts.Progress = func(p Progress) {
+		events++
+		if p.PairsDone >= 2 {
+			cancel()
+		}
+	}
+	m := NewMiner(shared(r), opts).WithContext(ctx)
+	res := m.MineMVDs()
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", res.Err)
+	}
+	if events == 0 {
+		t.Fatal("no progress events before cancellation")
+	}
+}
+
+// TestParallelProgressAggregation checks the aggregated event stream:
+// PairsDone reaches PairsTotal exactly once each value, and the final
+// cumulative counters match the result.
+func TestParallelProgressAggregation(t *testing.T) {
+	r := datagen.Nursery().Head(1000)
+	opts := DefaultOptions(0.1)
+	opts.Workers = 4
+	var last Progress
+	var doneSeen []int
+	opts.Progress = func(p Progress) {
+		if p.PairsDone > 0 {
+			doneSeen = append(doneSeen, p.PairsDone)
+		}
+		last = p
+	}
+	m := NewMiner(shared(r), opts)
+	res := m.MineMVDs()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	total := 9 * 8 / 2
+	if last.PairsDone != total || last.PairsTotal != total {
+		t.Fatalf("final event %d/%d, want %d/%d", last.PairsDone, last.PairsTotal, total, total)
+	}
+	if len(doneSeen) != total {
+		t.Fatalf("%d per-pair events, want %d", len(doneSeen), total)
+	}
+	seen := make(map[int]bool)
+	for _, d := range doneSeen {
+		if seen[d] {
+			t.Fatalf("PairsDone value %d emitted twice", d)
+		}
+		seen[d] = true
+	}
+	if last.MVDs != len(res.MVDs) {
+		t.Fatalf("final event reports %d MVDs, result has %d", last.MVDs, len(res.MVDs))
+	}
+	if last.Separators != res.NumMinSeps() {
+		t.Fatalf("final event reports %d separators, result has %d", last.Separators, res.NumMinSeps())
+	}
+}
+
+// TestParallelRestrictedPairs exercises Options.Pairs under the fan-out.
+func TestParallelRestrictedPairs(t *testing.T) {
+	r := datagen.Nursery().Head(1000)
+	pairs := [][2]int{{0, 8}, {1, 7}, {2, 5}}
+	mk := func(workers int) *MVDResult {
+		opts := DefaultOptions(0.1)
+		opts.Workers = workers
+		opts.Pairs = pairs
+		return NewMiner(shared(r), opts).MineMVDs()
+	}
+	serial, par := mk(1), mk(3)
+	if !reflect.DeepEqual(par.MinSeps, serial.MinSeps) {
+		t.Fatal("restricted-pair MinSeps differ")
+	}
+	for p := range par.MinSeps {
+		if !(bitset.Of(p.A, p.B) == bitset.Of(0, 8) || bitset.Of(p.A, p.B) == bitset.Of(1, 7) || bitset.Of(p.A, p.B) == bitset.Of(2, 5)) {
+			t.Fatalf("unexpected pair %v in restricted mine", p)
+		}
+	}
+}

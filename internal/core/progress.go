@@ -12,7 +12,10 @@ package core
 //     streamed to the caller.
 //
 // The callback runs synchronously on the mining goroutine; it must be
-// fast and must not call back into the miner.
+// fast and must not call back into the miner. With Options.Workers > 1
+// the per-pair events of phase 1 are delivered from worker goroutines,
+// serialized under a lock — the callback is never invoked concurrently,
+// but it must not assume a single fixed goroutine.
 type Progress struct {
 	// Phase is the loop emitting the event: "minseps" (MineMinSepsAll),
 	// "mvds" (MVDMiner, phase 1) or "schemes" (ASMiner, phase 2).

@@ -39,14 +39,16 @@ type Oracle struct {
 	cache *pli.Cache
 	logN  float64
 
-	// shared selects the locked paths. The memo and the PLI cache are
-	// guarded by mu: lookups take the read lock, a miss upgrades to the
-	// write lock for the partition computation (the PLI cache mutates its
-	// internal maps on every Get, so computes are serialized; warm
-	// lookups proceed in parallel).
-	shared bool
-	mu     sync.RWMutex
-	memo   map[bitset.AttrSet]float64
+	// shared selects the locked paths. The memo is guarded by mu with
+	// per-attribute-set single-flight: a miss installs an in-flight latch,
+	// releases the map lock, computes the partition, then publishes — so
+	// distinct entropy sets compute in parallel (the PLI cache below is
+	// itself concurrency-safe) while duplicate requests block only on
+	// their own latch. Warm lookups proceed under the read lock.
+	shared   bool
+	mu       sync.RWMutex
+	memo     map[bitset.AttrSet]float64
+	inflight map[bitset.AttrSet]*flight
 
 	// Counters fork with the mode so the single-threaded hot path keeps
 	// plain increments: stats serves unshared oracles, the atomics serve
@@ -73,17 +75,34 @@ func NewWithConfig(r *relation.Relation, cfg pli.Config) *Oracle {
 	}
 }
 
+// flight is one in-flight entropy computation: done is closed once h is
+// published. The goroutine that installed the flight computes; duplicate
+// requests for the same set wait on it.
+type flight struct {
+	done chan struct{}
+	h    float64
+}
+
 // NewShared builds an oracle that is safe for concurrent use: any number
 // of goroutines may call H/CondH/MI (and Stats) simultaneously. Memo hits
-// run under a read lock and scale with cores; misses serialize on a write
-// lock around the PLI computation, so concurrent miners at different
-// thresholds still share every partition and entropy computed by any of
-// them. This is the oracle behind maimon.Session.
+// run under a read lock and scale with cores; misses are single-flight
+// per attribute set — distinct fresh sets compute their partitions in
+// parallel, duplicate requests wait on the first — so concurrent miners
+// at different thresholds still share every partition and entropy
+// computed by any of them, without serializing on a global write lock.
+// This is the oracle behind maimon.Session and the parallel mining
+// pipeline (core.Options.Workers).
 func NewShared(r *relation.Relation, cfg pli.Config) *Oracle {
 	o := NewWithConfig(r, cfg)
 	o.shared = true
+	o.inflight = make(map[bitset.AttrSet]*flight)
 	return o
 }
+
+// Shared reports whether the oracle is safe for concurrent use. The
+// parallel miners consult it: fanning out over an unshared oracle would
+// race on its plain maps, so they fall back to serial mining.
+func (o *Oracle) Shared() bool { return o.shared }
 
 // Relation returns the relation the oracle serves.
 func (o *Oracle) Relation() *relation.Relation { return o.rel }
@@ -129,9 +148,11 @@ func (o *Oracle) H(attrs bitset.AttrSet) float64 {
 	return h
 }
 
-// sharedH is the locked H path: read-locked memo probe, write-locked
-// compute with a double-check (two goroutines racing on the same fresh
-// set compute it once).
+// sharedH is the locked H path: read-locked memo probe, then single-
+// flight compute — the map lock is held only to install or find the
+// in-flight latch, never across the partition computation, so distinct
+// sets compute concurrently while duplicates of the same set wait on
+// their flight and are answered from the memo.
 func (o *Oracle) sharedH(attrs bitset.AttrSet) float64 {
 	o.hCalls.Add(1)
 	if attrs.IsEmpty() {
@@ -145,14 +166,29 @@ func (o *Oracle) sharedH(attrs bitset.AttrSet) float64 {
 		return h
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if h, ok := o.memo[attrs]; ok {
+		o.mu.Unlock()
 		o.hCached.Add(1)
 		return h
 	}
-	h = o.cache.Get(attrs).Entropy()
-	o.memo[attrs] = h
-	return h
+	if f, ok := o.inflight[attrs]; ok {
+		o.mu.Unlock()
+		<-f.done
+		o.hCached.Add(1)
+		return f.h
+	}
+	f := &flight{done: make(chan struct{})}
+	o.inflight[attrs] = f
+	o.mu.Unlock()
+
+	f.h = o.cache.Get(attrs).Entropy()
+
+	o.mu.Lock()
+	o.memo[attrs] = f.h
+	delete(o.inflight, attrs)
+	o.mu.Unlock()
+	close(f.done)
+	return f.h
 }
 
 // CondH returns the conditional entropy H(Y|X) = H(XY) − H(X).

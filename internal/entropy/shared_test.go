@@ -1,0 +1,77 @@
+package entropy
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/pli"
+)
+
+// TestSharedSingleFlight races many goroutines on the same fresh entropy
+// set: exactly one must compute it (the flight owner), every other call
+// must be answered from the latch or the memo.
+func TestSharedSingleFlight(t *testing.T) {
+	r := datagen.Uniform(3000, 6, 5, 3)
+	o := NewShared(r, pli.DefaultConfig())
+	attrs := bitset.Of(0, 2, 3, 5)
+	want := NaiveH(r, attrs)
+
+	const goroutines = 16
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			if got := o.H(attrs); math.Abs(got-want) > 1e-9 {
+				t.Errorf("H = %v, want %v", got, want)
+			}
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	st := o.Stats()
+	if st.HCalls != goroutines {
+		t.Fatalf("HCalls = %d, want %d", st.HCalls, goroutines)
+	}
+	if st.HCached != goroutines-1 {
+		t.Fatalf("HCached = %d, want %d (single-flight: one compute, rest wait)", st.HCached, goroutines-1)
+	}
+}
+
+// TestSharedParallelDistinct computes distinct fresh sets concurrently —
+// the case the single-flight design exists for: no global write lock
+// serializes them — and validates every answer against the naive
+// reference.
+func TestSharedParallelDistinct(t *testing.T) {
+	r := datagen.Uniform(2000, 8, 4, 9)
+	o := NewShared(r, pli.DefaultConfig())
+	sets := []bitset.AttrSet{
+		bitset.Of(0, 1), bitset.Of(2, 3), bitset.Of(4, 5), bitset.Of(6, 7),
+		bitset.Of(0, 3, 6), bitset.Of(1, 4, 7), bitset.Of(2, 5), bitset.Of(0, 7),
+		bitset.Of(1, 2, 3, 4), bitset.Of(3, 4, 5, 6), bitset.Full(8),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(sets); i++ {
+				s := sets[(g*3+i)%len(sets)]
+				if got, want := o.H(s), NaiveH(r, s); math.Abs(got-want) > 1e-9 {
+					t.Errorf("H(%v) = %v, want %v", s, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := o.Stats(); st.HCached == 0 {
+		t.Fatalf("expected memo reuse across goroutines, got %+v", st)
+	}
+}

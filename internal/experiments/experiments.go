@@ -27,6 +27,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/entropy"
+	"repro/internal/pli"
+	"repro/internal/relation"
 )
 
 // Config tunes an experiment run.
@@ -42,6 +44,12 @@ type Config struct {
 	// Epsilons is the threshold sweep for the ε-dependent figures
 	// (default 0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5).
 	Epsilons []float64
+	// Workers is the parallel fan-out of every mining invocation
+	// (core.Options.Workers). <= 1 (the default) mines serially, matching
+	// the paper's single-threaded system; > 1 builds shared oracles and
+	// fans attribute pairs out, which changes runtimes but — the pipeline
+	// being deterministic — none of the reported counts.
+	Workers int
 }
 
 func (c Config) budget() time.Duration {
@@ -76,14 +84,25 @@ func (r *report) printf(format string, args ...interface{}) {
 
 func (r *report) String() string { return r.b.String() }
 
+// oracleFor builds the per-dataset oracle the ε-sweep drivers reuse
+// across thresholds — the session pattern of the public API, so a sweep
+// pays the PLI and entropy cost once instead of once per ε. With
+// cfg.Workers > 1 it is the shared single-flight oracle the parallel
+// pipeline requires.
+func (c Config) oracleFor(r *relation.Relation) *entropy.Oracle {
+	if c.Workers > 1 {
+		return entropy.NewShared(r, pli.DefaultConfig())
+	}
+	return entropy.New(r)
+}
+
 // minerFor builds a budget-bounded miner over a (possibly warm) oracle;
 // each mining phase gets its own budget, as in the paper's per-phase time
-// limits. The ε-sweep drivers build one oracle per dataset and reuse it
-// across thresholds — the session pattern of the public API — so a sweep
-// pays the PLI and entropy cost once instead of once per ε.
-func minerFor(o *entropy.Oracle, eps float64, budget time.Duration) *core.Miner {
+// limits, and inherits the configured parallel fan-out.
+func (c Config) minerFor(o *entropy.Oracle, eps float64) *core.Miner {
 	opts := core.DefaultOptions(eps)
-	opts.Budget = budget
+	opts.Budget = c.budget()
+	opts.Workers = c.Workers
 	return core.NewMiner(o, opts)
 }
 
@@ -95,9 +114,9 @@ type schemeStats struct {
 
 // collectSchemes mines schemes at the given ε over the shared oracle and
 // computes metrics for each, within the budget and scheme cap.
-func collectSchemes(o *entropy.Oracle, eps float64, budget time.Duration, maxSchemes int) []schemeStats {
+func (c Config) collectSchemes(o *entropy.Oracle, eps float64, maxSchemes int) []schemeStats {
 	r := o.Relation()
-	m := minerFor(o, eps, budget)
+	m := c.minerFor(o, eps)
 	res := m.MineMVDs()
 	var out []schemeStats
 	m.EnumerateSchemes(res.MVDs, func(s *core.Scheme) bool {

@@ -129,7 +129,8 @@ func TestQuantiles(t *testing.T) {
 func TestDedupeSchemes(t *testing.T) {
 	skipIfShort(t)
 	r := relationOf("Bridges", 200)
-	a := collectSchemes(entropy.New(r), 0, time.Second, 20)
+	cfg := Config{Budget: time.Second}
+	a := cfg.collectSchemes(entropy.New(r), 0, 20)
 	merged := dedupeSchemes(a, a)
 	if len(merged) != len(dedupeSchemes(a)) {
 		t.Fatal("self-merge changed count")

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/datagen"
-	"repro/internal/entropy"
 )
 
 // fig18Datasets are the four datasets of Fig. 18 / Sec. 14.1.
@@ -36,13 +35,13 @@ func Fig18FullMVDs(cfg Config) string {
 			// protocol leaves separator mining untimed), but each ε stays
 			// cold so the timed generation rate is not order-dependent on
 			// the sweep.
-			o := entropy.New(r)
+			o := cfg.oracleFor(r)
 			// Phase A (untimed): minimal separators for every pair.
-			m := minerFor(o, eps, cfg.budget())
+			m := cfg.minerFor(o, eps)
 			seps := m.MineMinSepsAll()
 
 			// Phase B (timed): expand each separator to its full MVDs.
-			m2 := minerFor(o, eps, cfg.budget())
+			m2 := cfg.minerFor(o, eps)
 			seen := map[string]bool{}
 			count := 0
 			start := time.Now()

@@ -3,7 +3,6 @@ package experiments
 import (
 	"repro/internal/datagen"
 	"repro/internal/decompose"
-	"repro/internal/entropy"
 )
 
 // Fig10Nursery reproduces the Sec. 8.1 use case (Figs. 10 and 11): mine
@@ -17,10 +16,10 @@ func Fig10Nursery(cfg Config) string {
 	rep.printf("Nursery use case (Figs. 10-11): %d rows, %d attributes, %d cells\n",
 		r.NumRows(), r.NumCols(), r.Cells())
 
-	o := entropy.New(r) // shared across the ε sweep, as a Session would
+	o := cfg.oracleFor(r) // shared across the ε sweep, as a Session would
 	perEps := make([][]schemeStats, 0, len(cfg.epsilons()))
 	for _, eps := range cfg.epsilons() {
-		perEps = append(perEps, collectSchemes(o, eps, cfg.budget(), 200))
+		perEps = append(perEps, cfg.collectSchemes(o, eps, 200))
 	}
 	all := dedupeSchemes(perEps...)
 	rep.printf("schemes discovered across ε ∈ %v: %d (paper: 415 over [0,0.5])\n",

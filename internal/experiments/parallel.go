@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entropy"
+	"repro/internal/pli"
+	"repro/internal/relation"
+)
+
+// ParallelBenchRow is one measurement of the warm-parallel-vs-serial
+// benchmark; the rows are what cmd/experiments -bench-json serializes
+// into BENCH_parallel.json, tracking the perf trajectory of the parallel
+// pipeline across PRs.
+type ParallelBenchRow struct {
+	Dataset string  `json:"dataset"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	HCalls  int     `json:"h_calls"`
+	Speedup float64 `json:"speedup"`
+}
+
+// parallelBenchWorkers is the fan-out ladder measured per dataset.
+func parallelBenchWorkers() []int {
+	ws := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		ws = append(ws, p)
+	}
+	return ws
+}
+
+// parallelBenchDatasets builds the two generator workloads the
+// acceptance benchmark runs on: a planted acyclic join with light noise
+// (wide, 78 attribute pairs) and the nursery reconstruction.
+func parallelBenchDatasets(scale int) (map[string]*relation.Relation, []string, error) {
+	if scale <= 0 {
+		scale = 10000
+	}
+	rootTuples := scale / 27 // planted rows ≈ RootTuples × ExtPerSep^children
+	if rootTuples < 4 {
+		rootTuples = 4
+	}
+	planted, _, err := datagen.Planted(datagen.PlantedSpec{
+		Bags:       datagen.ChainBags(13, 4, 1),
+		Seed:       7,
+		RootTuples: rootTuples,
+		ExtPerSep:  3,
+		NoiseCells: 0.01,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return map[string]*relation.Relation{
+		"planted": planted,
+		"nursery": datagen.Nursery().Head(scale),
+	}, []string{"planted", "nursery"}, nil
+}
+
+// ParallelBench measures the parallel mining pipeline: per dataset, a
+// session-style shared oracle is warmed by one full phase-1 mine, then
+// the same MVDMiner workload runs at increasing worker counts over the
+// warm oracle — the steady-state regime of a resident session, where the
+// fan-out (not cold partition building) dominates. Speedup is serial
+// warm wall-clock over parallel; every run is checked to produce the
+// serial run's MVD count (the pipeline's determinism contract).
+func ParallelBench(cfg Config) ([]ParallelBenchRow, string, error) {
+	rep := newReport(cfg.Out)
+	eps := 0.1
+	rels, order, err := parallelBenchDatasets(cfg.Scale)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []ParallelBenchRow
+	for _, name := range order {
+		r := rels[name]
+		o := entropy.NewShared(r, pli.DefaultConfig())
+		mk := func(workers int) *core.Miner {
+			opts := core.DefaultOptions(eps)
+			opts.Workers = workers
+			return core.NewMiner(o, opts)
+		}
+		warm := mk(runtime.GOMAXPROCS(0)).MineMVDs()
+		if warm.Err != nil {
+			return nil, "", fmt.Errorf("experiments: warming %s: %w", name, warm.Err)
+		}
+		rep.printf("\nParallel bench (%s): %d cols, %d rows, %d full MVDs at ε=%.2f (warm oracle)\n",
+			name, r.NumCols(), r.NumRows(), len(warm.MVDs), eps)
+		rep.printf("%8s %10s %10s %9s\n", "workers", "wall[ms]", "H calls", "speedup")
+		serialMS := 0.0
+		for _, w := range parallelBenchWorkers() {
+			before := o.Stats().HCalls
+			best := time.Duration(1<<63 - 1)
+			for it := 0; it < 3; it++ {
+				start := time.Now()
+				res := mk(w).MineMVDs()
+				elapsed := time.Since(start)
+				if res.Err != nil {
+					return nil, "", fmt.Errorf("experiments: %s workers=%d: %w", name, w, res.Err)
+				}
+				if len(res.MVDs) != len(warm.MVDs) {
+					return nil, "", fmt.Errorf("experiments: %s workers=%d mined %d MVDs, serial mined %d",
+						name, w, len(res.MVDs), len(warm.MVDs))
+				}
+				if elapsed < best {
+					best = elapsed
+				}
+			}
+			wallMS := float64(best.Microseconds()) / 1000
+			hCalls := (o.Stats().HCalls - before) / 3
+			if w == 1 {
+				serialMS = wallMS
+			}
+			speedup := 0.0
+			if wallMS > 0 {
+				speedup = serialMS / wallMS
+			}
+			rows = append(rows, ParallelBenchRow{
+				Dataset: name, Workers: w, WallMS: wallMS, HCalls: hCalls, Speedup: speedup,
+			})
+			rep.printf("%8d %10.1f %10d %8.2fx\n", w, wallMS, hCalls, speedup)
+		}
+	}
+	return rows, rep.String(), nil
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/datagen"
-	"repro/internal/entropy"
 	"repro/internal/relation"
 )
 
@@ -37,7 +36,7 @@ func Fig13Rows(cfg Config) string {
 			}
 			sample := full.SampleRows(rows, int64(spec.PaperRows%7919+1))
 			for _, eps := range fig13Epsilons {
-				elapsed, count, timedOut := timeMinSeps(sample, eps, cfg.budget())
+				elapsed, count, timedOut := timeMinSeps(cfg, sample, eps)
 				rep.printf("%8d %8.2f %12s %10d %4s\n",
 					rows, eps, elapsed.Round(time.Millisecond), count, tlMark(timedOut))
 			}
@@ -75,7 +74,7 @@ func Fig14Cols(cfg Config) string {
 			}
 			sub := full.KeepColumns(keep)
 			for _, eps := range fig13Epsilons {
-				elapsed, count, timedOut := timeMinSeps(sub, eps, cfg.budget())
+				elapsed, count, timedOut := timeMinSeps(cfg, sub, eps)
 				rep.printf("%8d %8.2f %12s %10d %4s\n",
 					cols, eps, elapsed.Round(time.Millisecond), count, tlMark(timedOut))
 			}
@@ -85,8 +84,8 @@ func Fig14Cols(cfg Config) string {
 }
 
 // timeMinSeps runs the separator phase for all pairs under a deadline.
-func timeMinSeps(r *relation.Relation, eps float64, budget time.Duration) (time.Duration, int, bool) {
-	m := minerFor(entropy.New(r), eps, budget)
+func timeMinSeps(cfg Config, r *relation.Relation, eps float64) (time.Duration, int, bool) {
+	m := cfg.minerFor(cfg.oracleFor(r), eps)
 	start := time.Now()
 	res := m.MineMinSepsAll()
 	return time.Since(start), res.NumMinSeps(), res.Err != nil

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/datagen"
-	"repro/internal/entropy"
 )
 
 // Table2 reproduces Table 2: for each of the 20 datasets (synthetic
@@ -21,7 +20,7 @@ func Table2(cfg Config) string {
 		"PaperTime[s]", "PaperMVDs", "Time", "FullMVDs")
 	for _, spec := range datagen.Registry(cfg.Scale) {
 		r := spec.Generate()
-		m := minerFor(entropy.New(r), 0, cfg.budget())
+		m := cfg.minerFor(cfg.oracleFor(r), 0)
 		start := time.Now()
 		res := m.MineMVDs()
 		elapsed := time.Since(start)

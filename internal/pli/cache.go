@@ -1,6 +1,9 @@
 package pli
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/bitset"
 	"repro/internal/relation"
 )
@@ -32,17 +35,36 @@ func DefaultConfig() Config { return Config{BlockSize: 10, MaxEntries: 0} }
 // fixed relation. It is the library's equivalent of the paper's PLI cache
 // of CNT/TID tables, with the blockwise assembly of Sec. 6.3.
 //
-// Cache is not safe for concurrent use: Get mutates the internal maps and
-// counters even on hits. Concurrency is layered above it — a shared
-// entropy.Oracle (entropy.NewShared) serializes all Cache access under
-// its write lock, so the cache itself stays lock-free and cheap for the
-// single-threaded miners the paper describes.
+// Cache is safe for concurrent use: each attribute set is guarded by a
+// latch-per-entry — the first goroutine to request a set installs an
+// in-flight entry, releases the map lock, computes the partition, then
+// publishes it, so duplicate requests block only on their own entry while
+// distinct sets compute in parallel. Waits follow the strict-subset order
+// of the blockwise assembly, so they cannot cycle.
 type Cache struct {
 	rel    *relation.Relation
 	cfg    Config
 	blocks []bitset.AttrSet
-	parts  map[bitset.AttrSet]*Partition
-	stats  Stats
+
+	mu    sync.RWMutex
+	parts map[bitset.AttrSet]*entry
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	intersects atomic.Int64
+}
+
+// entry is one cache slot: ready is closed once p is published. The
+// goroutine that installed the entry computes; everyone else waits.
+type entry struct {
+	ready chan struct{}
+	p     *Partition
+}
+
+func newEntry(p *Partition) *entry {
+	e := &entry{ready: make(chan struct{}), p: p}
+	close(e.ready)
+	return e
 }
 
 // NewCache builds a cache over r with the given configuration and
@@ -55,7 +77,7 @@ func NewCache(r *relation.Relation, cfg Config) *Cache {
 	c := &Cache{
 		rel:   r,
 		cfg:   cfg,
-		parts: make(map[bitset.AttrSet]*Partition, 2*n),
+		parts: make(map[bitset.AttrSet]*entry, 2*n),
 	}
 	for start := 0; start < n; start += cfg.BlockSize {
 		end := start + cfg.BlockSize
@@ -69,9 +91,8 @@ func NewCache(r *relation.Relation, cfg Config) *Cache {
 		c.blocks = append(c.blocks, b)
 	}
 	for j := 0; j < n; j++ {
-		c.parts[bitset.Single(j)] = SingleAttribute(r, j)
+		c.parts[bitset.Single(j)] = newEntry(SingleAttribute(r, j))
 	}
-	c.stats.Entries = len(c.parts)
 	return c
 }
 
@@ -79,28 +100,67 @@ func NewCache(r *relation.Relation, cfg Config) *Cache {
 func (c *Cache) Relation() *relation.Relation { return c.rel }
 
 // Stats returns a snapshot of the cache counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	entries := len(c.parts)
+	c.mu.RUnlock()
+	return Stats{
+		Hits:       int(c.hits.Load()),
+		Misses:     int(c.misses.Load()),
+		Intersects: int(c.intersects.Load()),
+		Entries:    entries,
+	}
+}
 
 // Get returns the stripped partition for attrs, computing and caching it
-// if needed.
+// if needed. Concurrent Gets for the same fresh set compute it once; the
+// rest wait on its entry.
 func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
-	if p, ok := c.parts[attrs]; ok {
+	c.mu.RLock()
+	e, ok := c.parts[attrs]
+	c.mu.RUnlock()
+	if ok {
+		<-e.ready
 		if attrs.Len() > 1 {
-			c.stats.Hits++
+			c.hits.Add(1)
 		}
-		return p
+		return e.p
 	}
-	c.stats.Misses++
-	p := c.compute(attrs)
-	c.store(attrs, p)
-	return p
+	c.misses.Add(1)
+	return c.compute(attrs)
+}
+
+// materialize returns the partition for attrs, building it via build at
+// most once per cached entry. When the retention cap is hit the build
+// still runs, uncached (matching the pre-concurrency semantics).
+func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) *Partition {
+	c.mu.RLock()
+	e, ok := c.parts[attrs]
+	c.mu.RUnlock()
+	if !ok {
+		c.mu.Lock()
+		e, ok = c.parts[attrs]
+		if !ok {
+			e = &entry{ready: make(chan struct{})}
+			if c.cfg.MaxEntries <= 0 || len(c.parts) < c.cfg.MaxEntries {
+				c.parts[attrs] = e
+			}
+			c.mu.Unlock()
+			e.p = build()
+			close(e.ready)
+			return e.p
+		}
+		c.mu.Unlock()
+	}
+	<-e.ready
+	return e.p
 }
 
 // compute assembles the partition for attrs blockwise: first within each
 // block (attribute by attribute, caching prefixes), then across blocks.
 func (c *Cache) compute(attrs bitset.AttrSet) *Partition {
 	if attrs.IsEmpty() {
-		return FromAttrs(c.rel, attrs)
+		return c.materialize(attrs, func() *Partition { return FromAttrs(c.rel, attrs) })
 	}
 	var acc *Partition
 	var accSet bitset.AttrSet
@@ -114,9 +174,9 @@ func (c *Cache) compute(attrs bitset.AttrSet) *Partition {
 			acc, accSet = pp, piece
 			continue
 		}
+		left := acc
 		accSet = accSet.Union(piece)
-		acc = c.intersect(acc, pp)
-		c.store(accSet, acc)
+		acc = c.materialize(accSet, func() *Partition { return c.intersect(left, pp) })
 	}
 	return acc
 }
@@ -126,32 +186,16 @@ func (c *Cache) compute(attrs bitset.AttrSet) *Partition {
 // realizes the paper's per-block precomputation lazily: only subsets that
 // are actually requested get materialized.
 func (c *Cache) blockPartition(piece bitset.AttrSet) *Partition {
-	if p, ok := c.parts[piece]; ok {
-		return p
-	}
-	hi := piece.Max()
-	rest := piece.Remove(hi)
-	restPart := c.blockPartition(rest)
-	single := c.parts[bitset.Single(hi)]
-	p := c.intersect(restPart, single)
-	c.store(piece, p)
-	return p
+	return c.materialize(piece, func() *Partition {
+		hi := piece.Max()
+		rest := piece.Remove(hi)
+		restPart := c.blockPartition(rest)
+		single := c.blockPartition(bitset.Single(hi)) // pre-seeded, returns immediately
+		return c.intersect(restPart, single)
+	})
 }
 
 func (c *Cache) intersect(p, q *Partition) *Partition {
-	c.stats.Intersects++
+	c.intersects.Add(1)
 	return Intersect(p, q)
-}
-
-// store caches p under attrs, respecting the MaxEntries cap (single
-// attributes were cached at construction and never evicted).
-func (c *Cache) store(attrs bitset.AttrSet, p *Partition) {
-	if _, ok := c.parts[attrs]; ok {
-		return
-	}
-	if c.cfg.MaxEntries > 0 && len(c.parts) >= c.cfg.MaxEntries {
-		return
-	}
-	c.parts[attrs] = p
-	c.stats.Entries = len(c.parts)
 }

@@ -14,6 +14,7 @@ package pli
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/relation"
@@ -23,10 +24,16 @@ import (
 // equivalence classes (by equality on some attribute set) that contain at
 // least two rows. Classes and the ids inside each class are kept sorted so
 // partitions have a canonical form.
+//
+// A Partition is immutable after construction and safe for concurrent
+// readers: the probe array is built lazily under a sync.Once, so
+// partitions handed out by a shared Cache may be intersected from many
+// goroutines at once.
 type Partition struct {
-	n        int       // number of rows in the underlying relation
-	clusters [][]int32 // each of size >= 2
-	probe    []int32   // lazy: row -> cluster index, -1 for stripped singletons
+	n         int       // number of rows in the underlying relation
+	clusters  [][]int32 // each of size >= 2
+	probeOnce sync.Once // guards the lazy probe build
+	probe     []int32   // row -> cluster index, -1 for stripped singletons
 }
 
 // NumRows returns the number of rows of the underlying relation.
@@ -49,10 +56,11 @@ func (p *Partition) Size() int {
 	return total
 }
 
-// Probe returns (building lazily) the row -> cluster-index map, with -1
-// marking rows in stripped singleton classes.
+// Probe returns (building lazily, exactly once) the row -> cluster-index
+// map, with -1 marking rows in stripped singleton classes. Safe to call
+// from concurrent readers of a shared partition.
 func (p *Partition) Probe() []int32 {
-	if p.probe == nil {
+	p.probeOnce.Do(func() {
 		probe := make([]int32, p.n)
 		for i := range probe {
 			probe[i] = -1
@@ -63,7 +71,7 @@ func (p *Partition) Probe() []int32 {
 			}
 		}
 		p.probe = probe
-	}
+	})
 	return p.probe
 }
 

@@ -9,7 +9,10 @@ import "sync"
 // re-registered under the same name — a new session over possibly
 // different data — can never be served a stale result. Timeout is
 // deliberately not part of the key — only complete (non-interrupted) runs
-// are cached, and a complete result is valid under any timeout.
+// are cached, and a complete result is valid under any timeout. Workers
+// is excluded for the same reason: the parallel pipeline is
+// deterministic, so a result mined at any fan-out answers a request at
+// any other.
 type cacheKey struct {
 	session        int64
 	epsilon        float64

@@ -49,6 +49,12 @@ type JobRequest struct {
 	// MaxSchemes caps how many schemes are enumerated; 0 applies the
 	// manager's default (DefaultMaxSchemes), -1 means unlimited.
 	MaxSchemes int `json:"max_schemes,omitempty"`
+	// Workers is the parallel fan-out of this job's mining pipeline:
+	// attribute pairs are mined across that many goroutines over the
+	// dataset's shared session. 0 applies the manager's default
+	// (Config.MineWorkers); values are capped at GOMAXPROCS. Results are
+	// deterministic regardless of the fan-out.
+	Workers int `json:"workers,omitempty"`
 	// DisablePruning turns off the pairwise-consistency optimization
 	// (ablation runs only).
 	DisablePruning bool `json:"disable_pruning,omitempty"`

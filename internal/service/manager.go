@@ -20,10 +20,17 @@ const DefaultMaxSchemes = 100
 
 // Config sizes the manager.
 type Config struct {
-	// Workers is the size of the mining worker pool; ≤ 0 means
-	// runtime.GOMAXPROCS(0). Mining is CPU-bound, so more workers than
-	// cores buys nothing.
+	// Workers is the size of the mining worker pool — how many jobs run
+	// concurrently; ≤ 0 means runtime.GOMAXPROCS(0). Mining is CPU-bound,
+	// so more workers than cores buys nothing.
 	Workers int
+	// MineWorkers is the default per-job parallel fan-out (the pipeline's
+	// WithWorkers) for jobs that don't set workers themselves; ≤ 0 means
+	// 1, i.e. each job mines serially and parallelism comes from running
+	// Workers jobs side by side. Raise it on machines with more cores
+	// than concurrent jobs; total CPU demand is roughly
+	// Workers × MineWorkers.
+	MineWorkers int
 	// QueueDepth bounds how many jobs may wait; ≤ 0 means 256. A full
 	// queue rejects submits (backpressure) instead of growing without
 	// bound.
@@ -42,6 +49,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MineWorkers <= 0 {
+		c.MineWorkers = 1
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
@@ -132,6 +142,15 @@ func (m *Manager) normalize(req JobRequest) (JobRequest, error) {
 		req.MaxSchemes = DefaultMaxSchemes
 	case req.MaxSchemes < 0:
 		req.MaxSchemes = 0 // unlimited, the core encoding
+	}
+	if req.Workers < 0 {
+		return req, fmt.Errorf("service: workers must be ≥ 0, got %d", req.Workers)
+	}
+	if req.Workers == 0 {
+		req.Workers = m.cfg.MineWorkers
+	}
+	if max := runtime.GOMAXPROCS(0); req.Workers > max {
+		req.Workers = max // a wider fan-out than cores buys nothing
 	}
 	sess, ok := m.reg.Get(req.Dataset)
 	if !ok {
@@ -306,6 +325,7 @@ func (m *Manager) mine(ctx context.Context, sess *maimon.Session, job *Job) (*Jo
 	opts := []maimon.Option{
 		maimon.WithEpsilon(req.Epsilon),
 		maimon.WithPruning(!req.DisablePruning),
+		maimon.WithWorkers(req.Workers),
 		maimon.WithProgress(job.observe),
 	}
 

@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -151,4 +152,63 @@ func TestManagerCloseCancelsInFlight(t *testing.T) {
 		t.Fatalf("submit after Close: err = %v", err)
 	}
 	mgr.Close() // idempotent
+}
+
+// TestJobWorkersPlumbing: a job's parallel fan-out request is validated,
+// defaulted from Config.MineWorkers, capped at GOMAXPROCS, and — the
+// pipeline being deterministic — a parallel job returns exactly what a
+// serial one does (served from the result cache, since workers is not
+// part of the cache key).
+func TestJobWorkersPlumbing(t *testing.T) {
+	reg := service.NewRegistry()
+	if _, err := reg.Add("d", datagen.Nursery().Head(400)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.NewManager(reg, service.Config{Workers: 1, MineWorkers: 2})
+	defer mgr.Close()
+
+	if _, err := mgr.Submit(service.JobRequest{Dataset: "d", Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+
+	job, err := mgr.Submit(service.JobRequest{Dataset: "d", Epsilon: 0.1, Workers: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Request().Workers; got > runtime.GOMAXPROCS(0) {
+		t.Errorf("workers = %d, want capped at GOMAXPROCS", got)
+	}
+	<-job.Done()
+	serial, ok := job.Result()
+	if !ok {
+		t.Fatalf("parallel job did not finish done: %+v", job.Status())
+	}
+
+	defaulted, err := mgr.Submit(service.JobRequest{Dataset: "d", Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2
+	if max := runtime.GOMAXPROCS(0); want > max {
+		want = max
+	}
+	if got := defaulted.Request().Workers; got != want {
+		t.Errorf("defaulted workers = %d, want %d (MineWorkers capped)", got, want)
+	}
+	<-defaulted.Done()
+
+	// Same dataset and ε as the parallel job, but workers=1: must be a
+	// result-cache hit carrying the identical result pointer.
+	again, err := mgr.Submit(service.JobRequest{Dataset: "d", Epsilon: 0.1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-again.Done()
+	if !again.Status().CacheHit {
+		t.Error("workers=1 resubmit missed the result cache")
+	}
+	res, ok := again.Result()
+	if !ok || res != serial {
+		t.Error("cached result differs from the parallel job's result")
+	}
 }

@@ -34,9 +34,13 @@
 //	// A second mine reuses every entropy computed by the first:
 //	more, _, err := s.MineSchemes(ctx, maimon.WithEpsilon(0.3))
 //
-// Session.SchemeSeq streams schemes as ASMiner synthesizes them, and
-// WithProgress delivers structured progress events from the core mining
-// loops. The legacy free functions remain deprecated but working: the
+// Sessions mine in parallel: attribute pairs (the paper's Fig. 3 loop)
+// fan out across WithWorkers goroutines — GOMAXPROCS by default — over
+// the session's single-flight entropy oracle, with results merged in
+// canonical pair order so a parallel mine is byte-identical to a serial
+// one. Session.SchemeSeq streams schemes as ASMiner synthesizes them,
+// and WithProgress delivers structured progress events from the core
+// mining loops. The legacy free functions remain deprecated but working: the
 // mining entry points (MineMVDs, MineSchemes and the *Context variants)
 // open a throwaway single-goroutine session per call, and the scorers
 // (J, JOfSchema, Analyze) evaluate against a fresh oracle directly —

@@ -1,0 +1,103 @@
+package maimon
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestSessionParallelMatchesSerial pins the public-API determinism
+// contract: the same session mined at workers=1 and workers=8 must
+// produce identical MVDs, identical NumMinSeps, and an identical scheme
+// list, on every seeded test dataset.
+func TestSessionParallelMatchesSerial(t *testing.T) {
+	planted, _, err := datagen.Planted(datagen.PlantedSpec{
+		Bags: datagen.ChainBags(10, 4, 1), Seed: 23, RootTuples: 10, ExtPerSep: 2, NoiseCells: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := map[string]*Relation{
+		"planted": planted,
+		"nursery": Nursery().Head(1200),
+	}
+	ctx := context.Background()
+	for name, r := range rels {
+		for _, eps := range []float64{0, 0.1} {
+			s, err := Open(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialSchemes, serialRes, err := s.MineSchemes(ctx,
+				WithEpsilon(eps), WithMaxSchemes(30), WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parSchemes, parRes, err := s.MineSchemes(ctx,
+				WithEpsilon(eps), WithMaxSchemes(30), WithWorkers(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parRes.MVDs) != len(serialRes.MVDs) {
+				t.Fatalf("%s eps=%v: %d parallel MVDs vs %d serial", name, eps, len(parRes.MVDs), len(serialRes.MVDs))
+			}
+			for i := range serialRes.MVDs {
+				if !parRes.MVDs[i].Equal(serialRes.MVDs[i]) {
+					t.Fatalf("%s eps=%v: MVD %d differs", name, eps, i)
+				}
+			}
+			if parRes.NumMinSeps() != serialRes.NumMinSeps() {
+				t.Fatalf("%s eps=%v: NumMinSeps %d vs %d", name, eps, parRes.NumMinSeps(), serialRes.NumMinSeps())
+			}
+			if len(parSchemes) != len(serialSchemes) {
+				t.Fatalf("%s eps=%v: %d parallel schemes vs %d serial", name, eps, len(parSchemes), len(serialSchemes))
+			}
+			for i := range serialSchemes {
+				if parSchemes[i].Schema.Fingerprint() != serialSchemes[i].Schema.Fingerprint() {
+					t.Fatalf("%s eps=%v: scheme %d differs", name, eps, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSchemeSeqEarlyBreakWithWorkers is the streaming-surface companion
+// of the determinism suite: breaking out of a SchemeSeq whose phase 1 ran
+// on the full worker pool must stop cleanly (no leaked workers for -race
+// to flag, no extra schemes synthesized after the break).
+func TestSchemeSeqEarlyBreakWithWorkers(t *testing.T) {
+	r := Nursery().Head(1000)
+	s, err := Open(r, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	maxStreamed := 0
+	consumed := 0
+	for _, err := range s.SchemeSeq(ctx, WithEpsilon(0.3), WithMaxSchemes(25),
+		WithProgress(func(p Progress) {
+			if p.Schemes > maxStreamed {
+				maxStreamed = p.Schemes
+			}
+		})) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumed++
+		if consumed == 2 {
+			break
+		}
+	}
+	if consumed != 2 {
+		t.Fatalf("consumed %d schemes, want 2", consumed)
+	}
+	if maxStreamed > 2 {
+		t.Fatalf("miner streamed %d schemes after the consumer broke at 2", maxStreamed)
+	}
+	// The session stays usable after the break: a fresh serial mine over
+	// the now-warm oracle must still succeed.
+	if _, _, err := s.MineSchemes(ctx, WithEpsilon(0.1), WithMaxSchemes(5), WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+}

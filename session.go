@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"iter"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +44,7 @@ type config struct {
 	timeout    time.Duration
 	maxSchemes int
 	pruning    bool
+	workers    int // 0 = GOMAXPROCS (the WithWorkers default)
 	pairs      [][2]int
 	pliCfg     PLIConfig
 	progress   func(Progress)
@@ -89,6 +91,18 @@ func WithPruning(on bool) Option { return func(c *config) { c.pruning = on } }
 // default) mines all pairs.
 func WithPairs(pairs [][2]int) Option { return func(c *config) { c.pairs = pairs } }
 
+// WithWorkers sets the fan-out of the parallel mining pipeline: attribute
+// pairs (the paper's Fig. 3 loop) are distributed across n worker miners
+// over the session's shared single-flight oracle, and ASMiner's
+// incompatibility-graph build is striped the same way. Results are
+// deterministic — identical to a serial mine of the same relation.
+//
+// The default (n = 0, or any n <= 0) is runtime.GOMAXPROCS(0). n = 1
+// mines serially, as the paper's single-threaded system does. Sessions
+// opened by the deprecated one-shot wrappers always mine serially: their
+// oracle skips the concurrency machinery.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
 // WithPLIConfig sets the PLI cache configuration of the session's entropy
 // oracle. It is honored by Open only — the oracle is built once per
 // session — and ignored by the per-call mining methods.
@@ -107,6 +121,10 @@ func (c config) coreOptions() core.Options {
 	o.PairwiseConsistency = c.pruning
 	o.Pairs = c.pairs
 	o.Progress = c.progress
+	o.Workers = c.workers
+	if c.workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -130,8 +148,12 @@ func (c config) mineContext(ctx context.Context) (context.Context, context.Cance
 // re-score one instance under many thresholds).
 //
 // All methods are safe for concurrent use: the shared oracle serves warm
-// entropies under a read lock and serializes fresh partition computation,
-// while each call runs its own single-threaded miner as in the paper.
+// entropies under a read lock and computes fresh ones single-flight per
+// attribute set, so distinct sets — whether requested by concurrent calls
+// or by the worker pool of one call — are computed in parallel, each
+// exactly once. Mining itself fans attribute pairs out across
+// WithWorkers goroutines (GOMAXPROCS by default) with deterministic,
+// serial-identical results.
 type Session struct {
 	rel    *Relation
 	oracle *entropy.Oracle
@@ -161,6 +183,10 @@ func open(r *Relation, shared bool, opts []Option) (*Session, error) {
 	if shared {
 		oracle = entropy.NewShared(r, cfg.pliCfg)
 	} else {
+		// Single-goroutine session: pin the pipeline to serial so the
+		// unlocked oracle is never shared across worker miners (the core
+		// layer also refuses to fan out over an unshared oracle).
+		cfg.workers = 1
 		oracle = entropy.NewWithConfig(r, cfg.pliCfg)
 	}
 	return &Session{rel: r, oracle: oracle, base: cfg}, nil

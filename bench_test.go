@@ -240,6 +240,60 @@ func BenchmarkParallelWarmMining(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionMemoryBudget measures what eviction pressure costs a
+// warm session: the same ε-sweep re-mined under an unlimited cache and
+// under budgets of ⅛ and 1/64 of the workload's natural footprint. The
+// entropy memo is never evicted, so warm re-mines largely ride it; the
+// rungs quantify the residual PLI recompute (and, on big footprints, the
+// GC relief a budget buys). cmd/experiments -bench-memory-json runs the
+// fuller protocol and records BENCH_memory.json.
+func BenchmarkSessionMemoryBudget(b *testing.B) {
+	r := datagen.Nursery().Head(3000)
+	ctx := context.Background()
+	probe, err := Open(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := probe.MineMVDs(ctx, WithEpsilon(0.1)); err != nil {
+		b.Fatal(err)
+	}
+	footprint := probe.Stats().PLIStats.BytesLive
+	for _, div := range []int64{0, 8, 64} {
+		budget := int64(0)
+		name := "unlimited"
+		if div > 0 {
+			budget = footprint / div
+			name = fmt.Sprintf("budget=1/%d", div)
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := Open(r, WithMemoryBudget(budget))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.MineMVDs(ctx, WithEpsilon(0.1)); err != nil {
+				b.Fatal(err) // warm the session once
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.MineMVDs(ctx, WithEpsilon(0.1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.MVDs) == 0 {
+					b.Fatal("no MVDs mined")
+				}
+			}
+			b.StopTimer()
+			st := s.Stats().PLIStats
+			if budget > 0 && st.Evictions == 0 {
+				b.Fatalf("budget %d forced no evictions", budget)
+			}
+			b.ReportMetric(float64(st.Evictions), "evictions")
+			b.ReportMetric(float64(st.BytesLive), "bytes-live")
+		})
+	}
+}
+
 // --- micro-benchmarks of the core machinery -----------------------------
 
 func benchNursery(b *testing.B) *Relation {

@@ -50,6 +50,7 @@ func main() {
 		epsList   = flag.String("epsilons", "", "comma-separated ε sweep (default 0,0.05,0.1,0.2,0.3,0.4,0.5)")
 		workers   = flag.Int("workers", 0, "parallel mining fan-out for the drivers (<= 1 = serial, the paper's setting)")
 		benchJSON = flag.String("bench-json", "", "run the warm-parallel-vs-serial bench and write its rows to this JSON file")
+		memJSON   = flag.String("bench-memory-json", "", "run the memory-budget sweep and write its rows to this JSON file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -70,6 +71,13 @@ func main() {
 	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(cfg, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *memJSON != "" {
+		if err := writeMemoryJSON(cfg, *memJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,6 +122,28 @@ func main() {
 // across commits (BENCH_parallel.json at the repo root).
 func writeBenchJSON(cfg experiments.Config, path string) error {
 	rows, _, err := experiments.ParallelBench(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bench rows to %s\n", len(rows), path)
+	return nil
+}
+
+// writeMemoryJSON runs the memory-budget sweep — warm re-mines of the
+// planted and nursery generators under shrinking PLI budgets — and
+// records its machine-readable rows, {dataset, budget_bytes, wall_ms,
+// evictions, h_calls, bytes_live, gomaxprocs, numcpu}, tracking what
+// eviction pressure costs across commits (BENCH_memory.json at the repo
+// root).
+func writeMemoryJSON(cfg experiments.Config, path string) error {
+	rows, _, err := experiments.MemoryBench(cfg)
 	if err != nil {
 		return err
 	}

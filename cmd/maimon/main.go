@@ -4,7 +4,8 @@
 // Usage:
 //
 //	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
-//	       [-timeout 30s] [-max-schemes 50] [-workers 0] [-fds] [-v]
+//	       [-timeout 30s] [-max-schemes 50] [-workers 0] [-cache-bytes 0]
+//	       [-fds] [-v]
 //
 // Modes:
 //
@@ -50,6 +51,7 @@ func main() {
 		outDir     = flag.String("out", "decomposed", "decompose mode: output directory")
 		rank       = flag.String("rank", "savings", "schemes mode ordering: savings | j | relations | width")
 		workers    = flag.Int("workers", 0, "parallel mining fan-out (0 = GOMAXPROCS, 1 = serial)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
 		verbose    = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
 	)
 	flag.Parse()
@@ -74,7 +76,7 @@ func main() {
 	}
 
 	sess, err := maimon.Open(r, maimon.WithEpsilon(*epsilon), maimon.WithMaxSchemes(*maxSchemes),
-		maimon.WithWorkers(*workers))
+		maimon.WithWorkers(*workers), maimon.WithMemoryBudget(*cacheBytes))
 	if err != nil {
 		fail("%v", err)
 	}
@@ -196,6 +198,12 @@ func main() {
 		fmt.Printf("schema: %s\n", sch.Format(r.Names()))
 	default:
 		fail("unknown mode %q", *mode)
+	}
+
+	if *verbose {
+		st := sess.Stats()
+		fmt.Fprintf(os.Stderr, "oracle: %d H calls (%d cached); PLI: %d entries, %d bytes live, %d evictions\n",
+			st.HCalls, st.HCached, st.PLIStats.Entries, st.PLIStats.BytesLive, st.PLIStats.Evictions)
 	}
 
 	// Mining is over: restore default signal handling so Ctrl-C now

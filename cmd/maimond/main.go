@@ -8,7 +8,8 @@
 // Usage:
 //
 //	maimond [-addr :8080] [-workers N] [-mine-workers 1] [-queue 256]
-//	        [-job-timeout 0] [-load name=path.csv ...] [-nursery]
+//	        [-job-timeout 0] [-cache-bytes 0] [-result-cache 256]
+//	        [-load name=path.csv ...] [-nursery]
 //
 // API (versioned under /v1; the unversioned paths remain as aliases —
 // see README.md for curl examples):
@@ -35,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	maimon "repro"
 	"repro/internal/datagen"
 	"repro/internal/relation"
 	"repro/internal/service"
@@ -55,12 +57,18 @@ func main() {
 		queue       = flag.Int("queue", 256, "job queue depth (submits beyond it are rejected)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
 		maxJobs     = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "per-dataset PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
+		resultCache = flag.Int("result-cache", 0, "completed job results retained, LRU past the cap (0 = 256)")
 		nursery     = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
 	)
 	flag.Var(&loads, "load", "preload a dataset: name=path.csv (repeatable)")
 	flag.Parse()
 
-	reg := service.NewRegistry()
+	var sessOpts []maimon.Option
+	if *cacheBytes > 0 {
+		sessOpts = append(sessOpts, maimon.WithMemoryBudget(*cacheBytes))
+	}
+	reg := service.NewRegistry(sessOpts...)
 	if *nursery {
 		info, err := reg.Add("nursery", datagen.Nursery())
 		if err != nil {
@@ -85,11 +93,12 @@ func main() {
 	}
 
 	mgr := service.NewManager(reg, service.Config{
-		Workers:        *workers,
-		MineWorkers:    *mineWorkers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *jobTimeout,
-		MaxJobs:        *maxJobs,
+		Workers:            *workers,
+		MineWorkers:        *mineWorkers,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *jobTimeout,
+		MaxJobs:            *maxJobs,
+		ResultCacheEntries: *resultCache,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -91,6 +91,70 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerialUnderMemoryBudget re-runs the determinism
+// contract with the PLI cache squeezed hard enough to evict mid-mine:
+// the worker fan-out over a budgeted oracle must still produce exactly
+// what an unlimited serial mine does — eviction only ever forces
+// recomputation, and recomputed partitions are bit-identical.
+func TestParallelMatchesSerialUnderMemoryBudget(t *testing.T) {
+	budgeted := func(r *relation.Relation, maxBytes int64) *entropy.Oracle {
+		cfg := pli.DefaultConfig()
+		cfg.MaxBytes = maxBytes
+		return entropy.NewShared(r, cfg)
+	}
+	for name, r := range parallelTestRelations(t) {
+		for _, eps := range []float64{0, 0.1} {
+			serialRes, serialSchemes := minedWith(r, eps, 1)
+			if serialRes.Err != nil {
+				t.Fatalf("%s eps=%v: serial error %v", name, eps, serialRes.Err)
+			}
+			// Learn the unlimited footprint, then re-mine parallel at an
+			// eighth of it — tight enough to churn on every dataset.
+			probe := budgeted(r, 0)
+			opts := DefaultOptions(eps)
+			opts.Workers = 1
+			NewMiner(probe, opts).MineMVDs()
+			budget := probe.Stats().PLIStats.BytesLive / 8
+			if budget < 1 {
+				budget = 1
+			}
+
+			o := budgeted(r, budget)
+			popts := DefaultOptions(eps)
+			popts.Workers = 8
+			m := NewMiner(o, popts)
+			parRes := m.MineMVDs()
+			if parRes.Err != nil {
+				t.Fatalf("%s eps=%v: budgeted parallel error %v", name, eps, parRes.Err)
+			}
+			var parSchemes []string
+			m.EnumerateSchemes(parRes.MVDs, func(s *Scheme) bool {
+				parSchemes = append(parSchemes, s.Schema.Fingerprint())
+				return len(parSchemes) < 40
+			})
+			if len(parRes.MVDs) != len(serialRes.MVDs) {
+				t.Fatalf("%s eps=%v: %d budgeted-parallel MVDs vs %d serial", name, eps, len(parRes.MVDs), len(serialRes.MVDs))
+			}
+			for i := range serialRes.MVDs {
+				if !parRes.MVDs[i].Equal(serialRes.MVDs[i]) {
+					t.Fatalf("%s eps=%v: MVD %d differs under eviction", name, eps, i)
+				}
+			}
+			if !reflect.DeepEqual(parRes.MinSeps, serialRes.MinSeps) {
+				t.Fatalf("%s eps=%v: MinSeps maps differ under eviction", name, eps)
+			}
+			if !reflect.DeepEqual(parSchemes, serialSchemes) {
+				t.Fatalf("%s eps=%v: scheme streams differ under eviction", name, eps)
+			}
+			// budget < footprint, so the budgeted run must have crossed it
+			// at least once — the comparison above really ran under churn.
+			if st := o.Stats().PLIStats; st.Evictions == 0 {
+				t.Fatalf("%s eps=%v: budget %d forced no evictions (footprint %d)", name, eps, budget, budget*8)
+			}
+		}
+	}
+}
+
 // TestParallelMinSepsAllMatchesSerial covers the separator-only phase.
 func TestParallelMinSepsAllMatchesSerial(t *testing.T) {
 	r := datagen.Nursery().Head(1500)

@@ -11,11 +11,11 @@ package entropy
 import (
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/pli"
 	"repro/internal/relation"
+	"repro/internal/stripe"
 )
 
 // Stats counts oracle work: the paper calls entropy computation "the most
@@ -39,24 +39,42 @@ type Oracle struct {
 	cache *pli.Cache
 	logN  float64
 
-	// shared selects the locked paths. The memo is guarded by mu with
-	// per-attribute-set single-flight: a miss installs an in-flight latch,
-	// releases the map lock, computes the partition, then publishes — so
-	// distinct entropy sets compute in parallel (the PLI cache below is
-	// itself concurrency-safe) while duplicate requests block only on
-	// their own latch. Warm lookups proceed under the read lock.
-	shared   bool
-	mu       sync.RWMutex
+	// shared selects the sharded paths. The shared memo is split into
+	// power-of-two shards by a hash of the attribute set (the same
+	// striping as the PLI cache underneath); each shard owns its slice of
+	// the memo, its in-flight latches, and plain-int counters, all under
+	// one short mutex. That kills the two cross-core contention points of
+	// the previous design — a global RWMutex read lock plus shared atomic
+	// counters, whose cache lines every warm hit bounced — while keeping
+	// single-flight per attribute set: a miss installs an in-flight
+	// latch, releases the shard lock, computes the partition, then
+	// publishes, so distinct sets compute in parallel and duplicates wait
+	// only on their own latch. Entropies are 8 bytes each and are never
+	// evicted — the memory budget lives in the PLI cache below, whose
+	// partitions are the actual weight.
+	shared bool
+	shards []memoShard
+	mask   uint64
+
+	// The unshared single-goroutine hot path keeps its plain map and
+	// plain counters, untouched by the sharding machinery.
+	memo  map[bitset.AttrSet]float64
+	stats Stats
+}
+
+// memoShard is one stripe of the shared oracle: memo slice, in-flight
+// latches, and counters, padded so neighboring shards do not share cache
+// lines (the whole point of striping the counters).
+type memoShard struct {
+	mu       sync.Mutex
 	memo     map[bitset.AttrSet]float64
 	inflight map[bitset.AttrSet]*flight
 
-	// Counters fork with the mode so the single-threaded hot path keeps
-	// plain increments: stats serves unshared oracles, the atomics serve
-	// shared ones (mutated under mu.RLock, so they must be atomic).
-	stats   Stats
-	hCalls  atomic.Int64
-	hCached atomic.Int64
-	miCalls atomic.Int64
+	hCalls  int
+	hCached int
+	miCalls int
+
+	_ [64]byte
 }
 
 // New builds an oracle over r with the default PLI cache configuration.
@@ -84,19 +102,31 @@ type flight struct {
 }
 
 // NewShared builds an oracle that is safe for concurrent use: any number
-// of goroutines may call H/CondH/MI (and Stats) simultaneously. Memo hits
-// run under a read lock and scale with cores; misses are single-flight
-// per attribute set — distinct fresh sets compute their partitions in
-// parallel, duplicate requests wait on the first — so concurrent miners
-// at different thresholds still share every partition and entropy
-// computed by any of them, without serializing on a global write lock.
-// This is the oracle behind maimon.Session and the parallel mining
-// pipeline (core.Options.Workers).
+// of goroutines may call H/CondH/MI (and Stats) simultaneously. The memo
+// is sharded (cfg.Shards, same striping as the PLI cache), so warm hits
+// on different attribute sets touch different locks and counter cache
+// lines and scale with cores; misses are single-flight per attribute set
+// — distinct fresh sets compute their partitions in parallel, duplicate
+// requests wait on the first — so concurrent miners at different
+// thresholds still share every partition and entropy computed by any of
+// them, without serializing on a global lock. This is the oracle behind
+// maimon.Session and the parallel mining pipeline (core.Options.Workers).
 func NewShared(r *relation.Relation, cfg pli.Config) *Oracle {
 	o := NewWithConfig(r, cfg)
 	o.shared = true
-	o.inflight = make(map[bitset.AttrSet]*flight)
+	n := stripe.Count(cfg.Shards)
+	o.shards = make([]memoShard, n)
+	o.mask = uint64(n - 1)
+	for i := range o.shards {
+		o.shards[i].memo = make(map[bitset.AttrSet]float64)
+		o.shards[i].inflight = make(map[bitset.AttrSet]*flight)
+	}
 	return o
+}
+
+// memoShardOf maps an attribute set to its memo shard.
+func (o *Oracle) memoShardOf(attrs bitset.AttrSet) *memoShard {
+	return &o.shards[stripe.Hash(uint64(attrs))&o.mask]
 }
 
 // Shared reports whether the oracle is safe for concurrent use. The
@@ -111,18 +141,21 @@ func (o *Oracle) Relation() *relation.Relation { return o.rel }
 func (o *Oracle) NumAttrs() int { return o.rel.NumCols() }
 
 // Stats returns a snapshot of the oracle counters. On a shared oracle the
-// snapshot is taken under the lock and is consistent with any concurrent
-// mining that has completed (happens-before) the call.
+// striped per-shard counters are summed shard by shard (each under its
+// own lock), so the snapshot is consistent with any mining that has
+// completed (happens-before) the call.
 func (o *Oracle) Stats() Stats {
 	if o.shared {
-		o.mu.RLock()
-		defer o.mu.RUnlock()
-		return Stats{
-			HCalls:   int(o.hCalls.Load()),
-			HCached:  int(o.hCached.Load()),
-			MICalls:  int(o.miCalls.Load()),
-			PLIStats: o.cache.Stats(),
+		s := Stats{PLIStats: o.cache.Stats()}
+		for i := range o.shards {
+			sh := &o.shards[i]
+			sh.mu.Lock()
+			s.HCalls += sh.hCalls
+			s.HCached += sh.hCached
+			s.MICalls += sh.miCalls
+			sh.mu.Unlock()
 		}
+		return s
 	}
 	s := o.stats
 	s.PLIStats = o.cache.Stats()
@@ -148,45 +181,43 @@ func (o *Oracle) H(attrs bitset.AttrSet) float64 {
 	return h
 }
 
-// sharedH is the locked H path: read-locked memo probe, then single-
-// flight compute — the map lock is held only to install or find the
-// in-flight latch, never across the partition computation, so distinct
-// sets compute concurrently while duplicates of the same set wait on
-// their flight and are answered from the memo.
+// sharedH is the sharded H path: one short critical section on the
+// attribute set's shard covers the counter bump, the memo probe, and —
+// on a miss — installing or finding the in-flight latch. The shard lock
+// is never held across the partition computation, so distinct sets
+// compute concurrently (on the same shard included) while duplicates of
+// the same set wait on their flight.
 func (o *Oracle) sharedH(attrs bitset.AttrSet) float64 {
-	o.hCalls.Add(1)
+	sh := o.memoShardOf(attrs)
+	sh.mu.Lock()
+	sh.hCalls++
 	if attrs.IsEmpty() {
+		sh.mu.Unlock()
 		return 0
 	}
-	o.mu.RLock()
-	h, ok := o.memo[attrs]
-	o.mu.RUnlock()
-	if ok {
-		o.hCached.Add(1)
+	if h, ok := sh.memo[attrs]; ok {
+		sh.hCached++
+		sh.mu.Unlock()
 		return h
 	}
-	o.mu.Lock()
-	if h, ok := o.memo[attrs]; ok {
-		o.mu.Unlock()
-		o.hCached.Add(1)
-		return h
-	}
-	if f, ok := o.inflight[attrs]; ok {
-		o.mu.Unlock()
+	if f, ok := sh.inflight[attrs]; ok {
+		// Answered from the latch once the owner publishes: a cached
+		// serve, counted while the lock is already held.
+		sh.hCached++
+		sh.mu.Unlock()
 		<-f.done
-		o.hCached.Add(1)
 		return f.h
 	}
 	f := &flight{done: make(chan struct{})}
-	o.inflight[attrs] = f
-	o.mu.Unlock()
+	sh.inflight[attrs] = f
+	sh.mu.Unlock()
 
 	f.h = o.cache.Get(attrs).Entropy()
 
-	o.mu.Lock()
-	o.memo[attrs] = f.h
-	delete(o.inflight, attrs)
-	o.mu.Unlock()
+	sh.mu.Lock()
+	sh.memo[attrs] = f.h
+	delete(sh.inflight, attrs)
+	sh.mu.Unlock()
 	close(f.done)
 	return f.h
 }
@@ -205,7 +236,10 @@ func (o *Oracle) CondH(y, x bitset.AttrSet) float64 {
 // floating-point cancellation can produce.
 func (o *Oracle) MI(y, z, x bitset.AttrSet) float64 {
 	if o.shared {
-		o.miCalls.Add(1)
+		sh := o.memoShardOf(x)
+		sh.mu.Lock()
+		sh.miCalls++
+		sh.mu.Unlock()
 	} else {
 		o.stats.MICalls++
 	}

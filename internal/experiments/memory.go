@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/pli"
+)
+
+// MemoryBenchRow is one measurement of the memory-budget sweep; the rows
+// are what cmd/experiments -bench-memory-json serializes into
+// BENCH_memory.json. BudgetBytes = 0 is the unlimited baseline.
+// GoMaxProcs/NumCPU make the machine context machine-readable (the
+// reference dev container is pinned to one CPU — see README).
+type MemoryBenchRow struct {
+	Dataset     string  `json:"dataset"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	WallMS      float64 `json:"wall_ms"`
+	Evictions   int     `json:"evictions"`
+	HCalls      int     `json:"h_calls"`
+	BytesLive   int64   `json:"bytes_live"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"numcpu"`
+}
+
+// MemoryBench measures what a PLI memory budget costs: per dataset, an
+// unlimited-budget oracle is mined to learn the workload's natural cache
+// footprint, then fresh session-style oracles are mined twice (cold +
+// warm) at shrinking budgets — half, an eighth, and a thirty-second of
+// that footprint — recording the warm mine's wall-clock, H calls, and
+// evictions. The warm re-mine is the regime the budget governs: a
+// resident session mining again under pressure, where every eviction is
+// a future recompute. Each run's MVD count is checked against the
+// unlimited baseline (eviction must never change results), and the
+// resting BytesLive is checked against the budget.
+func MemoryBench(cfg Config) ([]MemoryBenchRow, string, error) {
+	rep := newReport(cfg.Out)
+	eps := 0.1
+	rels, order, err := parallelBenchDatasets(cfg.Scale)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []MemoryBenchRow
+	for _, name := range order {
+		r := rels[name]
+		mine := func(budget int64) (*core.MVDResult, entropy.Stats, float64, error) {
+			pcfg := pli.DefaultConfig()
+			pcfg.MaxBytes = budget
+			o := entropy.NewShared(r, pcfg)
+			opts := core.DefaultOptions(eps)
+			opts.Workers = cfg.Workers
+			if cold := core.NewMiner(o, opts).MineMVDs(); cold.Err != nil {
+				return nil, entropy.Stats{}, 0, cold.Err
+			}
+			start := time.Now()
+			res := core.NewMiner(o, opts).MineMVDs()
+			wallMS := float64(time.Since(start).Microseconds()) / 1000
+			return res, o.Stats(), wallMS, res.Err
+		}
+		base, baseStats, baseMS, err := mine(0)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: memory baseline %s: %w", name, err)
+		}
+		footprint := baseStats.PLIStats.BytesLive
+		rep.printf("\nMemory bench (%s): %d cols, %d rows, %d full MVDs at ε=%.2f; unlimited footprint %d bytes\n",
+			name, r.NumCols(), r.NumRows(), len(base.MVDs), eps, footprint)
+		rep.printf("%14s %10s %10s %11s %10s\n", "budget[B]", "wall[ms]", "H calls", "bytes live", "evictions")
+		emit := func(budget int64, st entropy.Stats, wallMS float64) {
+			rows = append(rows, MemoryBenchRow{
+				Dataset:     name,
+				BudgetBytes: budget,
+				WallMS:      wallMS,
+				Evictions:   st.PLIStats.Evictions,
+				HCalls:      st.HCalls,
+				BytesLive:   st.PLIStats.BytesLive,
+				GoMaxProcs:  runtime.GOMAXPROCS(0),
+				NumCPU:      runtime.NumCPU(),
+			})
+			rep.printf("%14d %10.1f %10d %11d %10d\n",
+				budget, wallMS, st.HCalls, st.PLIStats.BytesLive, st.PLIStats.Evictions)
+		}
+		emit(0, baseStats, baseMS)
+		for _, div := range []int64{2, 8, 32} {
+			budget := footprint / div
+			if budget < 1 {
+				budget = 1
+			}
+			res, st, wallMS, err := mine(budget)
+			if err != nil {
+				return nil, "", fmt.Errorf("experiments: %s budget=%d: %w", name, budget, err)
+			}
+			if len(res.MVDs) != len(base.MVDs) {
+				return nil, "", fmt.Errorf("experiments: %s budget=%d mined %d MVDs, unlimited mined %d",
+					name, budget, len(res.MVDs), len(base.MVDs))
+			}
+			if st.PLIStats.BytesLive > budget {
+				return nil, "", fmt.Errorf("experiments: %s budget=%d: BytesLive %d over budget at rest",
+					name, budget, st.PLIStats.BytesLive)
+			}
+			emit(budget, st, wallMS)
+		}
+	}
+	return rows, rep.String(), nil
+}

@@ -16,12 +16,17 @@ import (
 // benchmark; the rows are what cmd/experiments -bench-json serializes
 // into BENCH_parallel.json, tracking the perf trajectory of the parallel
 // pipeline across PRs.
+// GoMaxProcs and NumCPU record the machine the row was measured on, so
+// the single-CPU dev-container caveat (README Performance) is
+// machine-readable instead of a footnote.
 type ParallelBenchRow struct {
-	Dataset string  `json:"dataset"`
-	Workers int     `json:"workers"`
-	WallMS  float64 `json:"wall_ms"`
-	HCalls  int     `json:"h_calls"`
-	Speedup float64 `json:"speedup"`
+	Dataset    string  `json:"dataset"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	HCalls     int     `json:"h_calls"`
+	Speedup    float64 `json:"speedup"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
 }
 
 // parallelBenchWorkers is the fan-out ladder measured per dataset.
@@ -120,6 +125,7 @@ func ParallelBench(cfg Config) ([]ParallelBenchRow, string, error) {
 			}
 			rows = append(rows, ParallelBenchRow{
 				Dataset: name, Workers: w, WallMS: wallMS, HCalls: hCalls, Speedup: speedup,
+				GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			})
 			rep.printf("%8d %10.1f %10d %8.2fx\n", w, wallMS, hCalls, speedup)
 		}

@@ -6,15 +6,18 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/relation"
+	"repro/internal/stripe"
 )
 
 // Stats counts the work a Cache has done; the experiments report these to
 // show the effect of the Sec. 6.3 design.
 type Stats struct {
-	Hits       int // cache hits on multi-attribute partitions
-	Misses     int // partitions that had to be computed
-	Intersects int // pairwise partition intersections performed
-	Entries    int // partitions currently cached
+	Hits       int   // cache hits on already-materialized partitions (single-attribute included)
+	Misses     int   // partitions that had to be computed
+	Intersects int   // pairwise partition intersections performed
+	Entries    int   // partitions currently cached (live, post-eviction, all shards)
+	BytesLive  int64 // bytes retained by evictable (multi-attribute) partitions
+	Evictions  int   // partitions evicted to stay within the memory budget
 }
 
 // Config tunes a Cache.
@@ -22,62 +25,115 @@ type Config struct {
 	// BlockSize is the paper's L (Sec. 6.3): attributes are split into
 	// ⌈n/L⌉ blocks and partitions are assembled blockwise. Default 10.
 	BlockSize int
-	// MaxEntries caps the number of cached partitions. Once reached, new
-	// partitions are still computed but not retained (single-attribute
-	// partitions are always retained). <= 0 means unlimited.
+	// MaxBytes is the cache's memory budget: the total Partition.SizeBytes
+	// of retained multi-attribute partitions. When an insert pushes the
+	// cache over the budget, cold partitions are evicted (clock /
+	// second-chance, per shard) until it fits again; evicted partitions
+	// are recomputed on demand, so a budget changes cost, never results.
+	// Single-attribute partitions are pinned — never evicted and not
+	// counted against the budget. <= 0 means unlimited.
+	MaxBytes int64
+	// MaxEntries caps the number of cached partitions (the pinned
+	// single-attribute ones included, matching its historical accounting).
+	// Exceeding the cap now evicts cold partitions instead of merely
+	// refusing to retain new ones. <= 0 means unlimited.
+	//
+	// Deprecated: use MaxBytes — partitions vary by orders of magnitude in
+	// size, so an entry count is a poor proxy for memory.
 	MaxEntries int
+	// Shards is the number of cache shards (rounded up to a power of
+	// two); <= 0 picks a default from GOMAXPROCS. More shards mean less
+	// lock contention between concurrent miners and evictions that block
+	// only the shard they sweep.
+	Shards int
 }
 
 // DefaultConfig mirrors the paper's implementation choices.
-func DefaultConfig() Config { return Config{BlockSize: 10, MaxEntries: 0} }
+func DefaultConfig() Config { return Config{BlockSize: 10} }
 
 // Cache computes and memoizes stripped partitions for attribute sets of a
 // fixed relation. It is the library's equivalent of the paper's PLI cache
 // of CNT/TID tables, with the blockwise assembly of Sec. 6.3.
 //
+// The cache is split into power-of-two shards by a hash of the attribute
+// set; each shard owns its slice of the map plus a clock (second-chance)
+// ring driving eviction under the byte budget (Config.MaxBytes), so an
+// eviction sweep locks one shard at a time and never blocks concurrent
+// Gets on the others.
+//
 // Cache is safe for concurrent use: each attribute set is guarded by a
 // latch-per-entry — the first goroutine to request a set installs an
-// in-flight entry, releases the map lock, computes the partition, then
+// in-flight entry, releases the shard lock, computes the partition, then
 // publishes it, so duplicate requests block only on their own entry while
 // distinct sets compute in parallel. Waits follow the strict-subset order
-// of the blockwise assembly, so they cannot cycle.
+// of the blockwise assembly, so they cannot cycle. In-flight entries are
+// never in a clock ring, so eviction cannot tear a latch out from under
+// its waiters.
 type Cache struct {
 	rel    *relation.Relation
 	cfg    Config
 	blocks []bitset.AttrSet
 
-	mu    sync.RWMutex
-	parts map[bitset.AttrSet]*entry
+	shards []cacheShard
+	mask   uint64
+
+	// entries/bytesLive are global so the budget check is one atomic
+	// load; the per-shard rings only drive *which* entry goes.
+	entries   atomic.Int64
+	bytesLive atomic.Int64
 
 	hits       atomic.Int64
 	misses     atomic.Int64
 	intersects atomic.Int64
+	evictions  atomic.Int64
+}
+
+// cacheShard is one slice of the cache: its part of the map plus the
+// clock ring of evictable (published, unpinned) entries.
+type cacheShard struct {
+	mu    sync.Mutex
+	parts map[bitset.AttrSet]*entry
+	ring  []*entry // evictable entries in clock order
+	hand  int      // clock hand into ring
+
+	_ [64]byte // keep hot shard state off its neighbors' cache lines
 }
 
 // entry is one cache slot: ready is closed once p is published. The
-// goroutine that installed the entry computes; everyone else waits.
+// goroutine that installed the entry computes; everyone else waits. ref
+// is the clock reference bit — set on every touch, cleared (one lap of
+// grace) by the sweep before the entry may be evicted.
 type entry struct {
-	ready chan struct{}
-	p     *Partition
+	ready  chan struct{}
+	p      *Partition
+	attrs  bitset.AttrSet
+	bytes  int64 // SizeBytes of p, fixed at publish
+	pinned bool  // single-attribute partitions are never evicted
+	ref    atomic.Bool
 }
 
-func newEntry(p *Partition) *entry {
-	e := &entry{ready: make(chan struct{}), p: p}
+func newEntry(attrs bitset.AttrSet, p *Partition) *entry {
+	e := &entry{ready: make(chan struct{}), p: p, attrs: attrs, pinned: true}
 	close(e.ready)
 	return e
 }
 
 // NewCache builds a cache over r with the given configuration and
-// precomputes the single-attribute partitions.
+// precomputes the single-attribute partitions (pinned in their shards).
 func NewCache(r *relation.Relation, cfg Config) *Cache {
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = 10
 	}
 	n := r.NumCols()
+	numShards := stripe.Count(cfg.Shards)
 	c := &Cache{
-		rel:   r,
-		cfg:   cfg,
-		parts: make(map[bitset.AttrSet]*entry, 2*n),
+		rel:    r,
+		cfg:    cfg,
+		shards: make([]cacheShard, numShards),
+		mask:   uint64(numShards - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].parts = make(map[bitset.AttrSet]*entry)
 	}
 	for start := 0; start < n; start += cfg.BlockSize {
 		end := start + cfg.BlockSize
@@ -91,9 +147,16 @@ func NewCache(r *relation.Relation, cfg Config) *Cache {
 		c.blocks = append(c.blocks, b)
 	}
 	for j := 0; j < n; j++ {
-		c.parts[bitset.Single(j)] = newEntry(SingleAttribute(r, j))
+		s := bitset.Single(j)
+		c.shard(s).parts[s] = newEntry(s, SingleAttribute(r, j))
+		c.entries.Add(1)
 	}
 	return c
+}
+
+// shard maps an attribute set to its shard.
+func (c *Cache) shard(attrs bitset.AttrSet) *cacheShard {
+	return &c.shards[stripe.Hash(uint64(attrs))&c.mask]
 }
 
 // Relation returns the relation the cache serves.
@@ -101,29 +164,29 @@ func (c *Cache) Relation() *relation.Relation { return c.rel }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.RLock()
-	entries := len(c.parts)
-	c.mu.RUnlock()
 	return Stats{
 		Hits:       int(c.hits.Load()),
 		Misses:     int(c.misses.Load()),
 		Intersects: int(c.intersects.Load()),
-		Entries:    entries,
+		Entries:    int(c.entries.Load()),
+		BytesLive:  c.bytesLive.Load(),
+		Evictions:  int(c.evictions.Load()),
 	}
 }
 
 // Get returns the stripped partition for attrs, computing and caching it
 // if needed. Concurrent Gets for the same fresh set compute it once; the
-// rest wait on its entry.
+// rest wait on its entry. A warm hit — single-attribute sets included —
+// counts toward Stats.Hits and refreshes the entry's clock bit.
 func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
-	c.mu.RLock()
-	e, ok := c.parts[attrs]
-	c.mu.RUnlock()
+	sh := c.shard(attrs)
+	sh.mu.Lock()
+	e, ok := sh.parts[attrs]
+	sh.mu.Unlock()
 	if ok {
 		<-e.ready
-		if attrs.Len() > 1 {
-			c.hits.Add(1)
-		}
+		c.hits.Add(1)
+		e.ref.Store(true)
 		return e.p
 	}
 	c.misses.Add(1)
@@ -131,29 +194,152 @@ func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
 }
 
 // materialize returns the partition for attrs, building it via build at
-// most once per cached entry. When the retention cap is hit the build
-// still runs, uncached (matching the pre-concurrency semantics).
+// most once per cached entry: the installer computes and publishes, every
+// concurrent duplicate waits on the entry's latch. Published entries are
+// subject to eviction; a later request for an evicted set simply lands
+// here again and recomputes.
 func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) *Partition {
-	c.mu.RLock()
-	e, ok := c.parts[attrs]
-	c.mu.RUnlock()
+	sh := c.shard(attrs)
+	sh.mu.Lock()
+	e, ok := sh.parts[attrs]
 	if !ok {
-		c.mu.Lock()
-		e, ok = c.parts[attrs]
-		if !ok {
-			e = &entry{ready: make(chan struct{})}
-			if c.cfg.MaxEntries <= 0 || len(c.parts) < c.cfg.MaxEntries {
-				c.parts[attrs] = e
-			}
-			c.mu.Unlock()
-			e.p = build()
-			close(e.ready)
-			return e.p
-		}
-		c.mu.Unlock()
+		e = &entry{ready: make(chan struct{}), attrs: attrs, pinned: attrs.Len() <= 1}
+		sh.parts[attrs] = e
+		sh.mu.Unlock()
+		e.p = build()
+		c.publish(sh, e)
+		return e.p
 	}
+	sh.mu.Unlock()
 	<-e.ready
+	e.ref.Store(true)
 	return e.p
+}
+
+// publish completes an in-flight entry: account its bytes, release the
+// waiters, enter it into its shard's clock ring, and evict if the insert
+// pushed the cache over budget. The order matters — the latch opens
+// before the entry becomes evictable, so waiters always read e.p.
+func (c *Cache) publish(sh *cacheShard, e *entry) {
+	e.bytes = e.p.SizeBytes()
+	e.ref.Store(true)
+	close(e.ready)
+	// Entries counts published partitions only: an in-flight latch holds
+	// no partition yet, must not show up in Stats.Entries as a live slot,
+	// and must not trip the MaxEntries budget into evicting warm
+	// partitions to make room for inserts that may yet revert.
+	c.entries.Add(1)
+	if e.pinned {
+		return
+	}
+	c.bytesLive.Add(e.bytes)
+	sh.mu.Lock()
+	sh.ring = append(sh.ring, e)
+	sh.mu.Unlock()
+	c.enforceBudget(sh)
+	if c.overBudget() {
+		// The sweep could not make room (everything else pinned, in
+		// flight, or too recently touched to give up): revert this insert
+		// rather than let the cache rest above its budget. Waiters
+		// already hold the partition through their entry pointer; the
+		// next request simply recomputes. This keeps the resting
+		// occupancy bound unconditional — an insert either fits or
+		// undoes itself.
+		c.drop(sh, e)
+	}
+}
+
+// drop removes a published entry if it is still cached (the sweep may
+// have beaten us to it).
+func (c *Cache) drop(sh *cacheShard, e *entry) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.parts[e.attrs]; !ok || cur != e {
+		return
+	}
+	delete(sh.parts, e.attrs)
+	for i, re := range sh.ring {
+		if re == e {
+			last := len(sh.ring) - 1
+			sh.ring[i] = sh.ring[last]
+			sh.ring[last] = nil
+			sh.ring = sh.ring[:last]
+			break
+		}
+	}
+	c.entries.Add(-1)
+	c.bytesLive.Add(-e.bytes)
+	c.evictions.Add(1)
+}
+
+// overBudget reports whether the cache currently exceeds either budget.
+func (c *Cache) overBudget() bool {
+	if c.cfg.MaxBytes > 0 && c.bytesLive.Load() > c.cfg.MaxBytes {
+		return true
+	}
+	if c.cfg.MaxEntries > 0 && c.entries.Load() > int64(c.cfg.MaxEntries) {
+		return true
+	}
+	return false
+}
+
+// enforceBudget evicts cold partitions until the cache fits its budgets
+// again, starting at the shard that just grew and sweeping the others
+// round-robin. Each shard is locked only for its own sweep. If everything
+// left is pinned, in-flight, or freshly referenced the pass gives up; the
+// next publish tries again.
+func (c *Cache) enforceBudget(prefer *cacheShard) {
+	if c.cfg.MaxBytes <= 0 && c.cfg.MaxEntries <= 0 {
+		return
+	}
+	if !c.overBudget() {
+		return
+	}
+	start := 0
+	for i := range c.shards {
+		if &c.shards[i] == prefer {
+			start = i
+			break
+		}
+	}
+	for i := 0; i < len(c.shards); i++ {
+		if !c.overBudget() {
+			return
+		}
+		c.sweep(&c.shards[(start+i)%len(c.shards)])
+	}
+}
+
+// sweep runs the clock hand over one shard: a referenced entry gets its
+// bit cleared (second chance), an unreferenced one is evicted. At most
+// two laps — after that everything surviving was re-referenced during
+// the sweep and deserves to stay.
+func (c *Cache) sweep(sh *cacheShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	budget := 2 * len(sh.ring)
+	for scanned := 0; scanned < budget && len(sh.ring) > 0 && c.overBudget(); scanned++ {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		e := sh.ring[sh.hand]
+		if e.ref.CompareAndSwap(true, false) {
+			sh.hand++
+			continue
+		}
+		// Evict: drop the map slot and the ring slot (swap-remove keeps
+		// the ring compact; clock order is approximate anyway). Waiters
+		// that already hold the *entry are unaffected — the partition
+		// itself is immutable and reachable through their pointer.
+		last := len(sh.ring) - 1
+		sh.ring[sh.hand] = sh.ring[last]
+		sh.ring[last] = nil
+		sh.ring = sh.ring[:last]
+		delete(sh.parts, e.attrs)
+		c.entries.Add(-1)
+		c.bytesLive.Add(-e.bytes)
+		c.evictions.Add(1)
+	}
 }
 
 // compute assembles the partition for attrs blockwise: first within each
@@ -198,4 +384,16 @@ func (c *Cache) blockPartition(piece bitset.AttrSet) *Partition {
 func (c *Cache) intersect(p, q *Partition) *Partition {
 	c.intersects.Add(1)
 	return Intersect(p, q)
+}
+
+// shardEntries returns the live entry count per shard — introspection for
+// the shard-distribution tests.
+func (c *Cache) shardEntries() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		out[i] = len(c.shards[i].parts)
+		c.shards[i].mu.Unlock()
+	}
+	return out
 }

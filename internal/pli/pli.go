@@ -56,6 +56,22 @@ func (p *Partition) Size() int {
 	return total
 }
 
+// SizeBytes bounds the resident footprint of the partition in bytes:
+// the cluster slice headers plus the row ids they hold, the probe
+// array's full capacity (4 bytes per relation row — built lazily, but
+// most cached partitions are eventually used as the larger intersection
+// operand and get one, so a memory budget must assume it), and a fixed
+// allowance for the struct itself. It is the unit of account of the
+// cache's memory budget (Config.MaxBytes): deliberately conservative —
+// the budget must upper-bound real memory, not track it optimistically —
+// and deterministic (a function of row count and clusters only), so
+// budget arithmetic reproduces across runs.
+func (p *Partition) SizeBytes() int64 {
+	const structOverhead = 64 // Partition struct + map slot, amortized
+	const sliceHeader = 24    // one []int32 header per cluster
+	return structOverhead + int64(len(p.clusters))*sliceHeader + int64(p.Size())*4 + int64(p.n)*4
+}
+
 // Probe returns (building lazily, exactly once) the row -> cluster-index
 // map, with -1 marking rows in stripped singleton classes. Safe to call
 // from concurrent readers of a shared partition.

@@ -1,6 +1,15 @@
 package service
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultResultCacheEntries is the default retention cap of the result
+// cache. A JobResult can be large (every mined scheme and MVD, formatted)
+// — a resident daemon keeps the most recently useful few hundred, not
+// every result it ever produced.
+const DefaultResultCacheEntries = 256
 
 // cacheKey identifies a mining outcome per session incarnation: same
 // session (and thus the same underlying data), same threshold, same
@@ -31,13 +40,23 @@ func keyOf(session int64, req JobRequest) cacheKey {
 	}
 }
 
+// cacheEnt is one LRU slot.
+type cacheEnt struct {
+	k cacheKey
+	r *JobResult
+}
+
 // resultCache memoizes completed job results so repeated mine-then-
 // evaluate workloads over a shared session pay the mining cost once.
-// Results are stored and served by pointer and must be treated as
-// immutable by all readers.
+// Retention is LRU with a fixed entry cap: a hit refreshes the entry, an
+// insert past the cap evicts the least recently served result. Results
+// are stored and served by pointer and must be treated as immutable by
+// all readers.
 type resultCache struct {
-	mu sync.RWMutex
-	m  map[cacheKey]*JobResult
+	mu  sync.Mutex
+	cap int
+	m   map[cacheKey]*list.Element
+	lru *list.List // front = most recently used
 	// retired holds session ids whose dataset was removed: put refuses
 	// them, closing the lookup-then-put race with RemoveDataset (a job
 	// finishing after removal would otherwise insert an entry no
@@ -46,23 +65,32 @@ type resultCache struct {
 	// the JobResults it prevents leaking.
 	retired map[int64]bool
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{m: make(map[cacheKey]*JobResult), retired: make(map[int64]bool)}
+func newResultCache(capEntries int) *resultCache {
+	if capEntries <= 0 {
+		capEntries = DefaultResultCacheEntries
+	}
+	return &resultCache{
+		cap:     capEntries,
+		m:       make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+		retired: make(map[int64]bool),
+	}
 }
 
 func (c *resultCache) get(k cacheKey) *JobResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r := c.m[k]
-	if r != nil {
-		c.hits++
-	} else {
+	el, ok := c.m[k]
+	if !ok {
 		c.misses++
+		return nil
 	}
-	return r
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEnt).r
 }
 
 func (c *resultCache) put(k cacheKey, r *JobResult) {
@@ -70,31 +98,47 @@ func (c *resultCache) put(k cacheKey, r *JobResult) {
 		return // partial results are not reusable
 	}
 	c.mu.Lock()
-	if !c.retired[k.session] {
-		c.m[k] = r
+	defer c.mu.Unlock()
+	if c.retired[k.session] {
+		return
 	}
-	c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEnt).r = r
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.lru.PushFront(&cacheEnt{k: k, r: r})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEnt).k)
+		c.evictions++
+	}
 }
 
-// invalidateSession drops every entry of one session incarnation and
-// marks the id retired (called when its dataset is removed from the
-// registry). Taking both actions under the cache lock makes the order
-// against a racing put irrelevant: put-then-invalidate deletes the entry,
-// invalidate-then-put refuses it.
+// invalidateSession eagerly drops every entry of one session incarnation
+// and marks the id retired (called when its dataset is removed from the
+// registry) — the results are unreachable by any future request, so they
+// leave immediately instead of aging out of the LRU. Taking both actions
+// under the cache lock makes the order against a racing put irrelevant:
+// put-then-invalidate deletes the entry, invalidate-then-put refuses it.
 func (c *resultCache) invalidateSession(id int64) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.retired[id] = true
-	for k := range c.m {
-		if k.session == id {
-			delete(c.m, k)
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		if ent := el.Value.(*cacheEnt); ent.k.session == id {
+			c.lru.Remove(el)
+			delete(c.m, ent.k)
 		}
 	}
-	c.mu.Unlock()
 }
 
 // stats returns (hits, misses, entries).
 func (c *resultCache) stats() (int64, int64, int) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.hits, c.misses, len(c.m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
 }

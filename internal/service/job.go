@@ -106,19 +106,34 @@ type Progress struct {
 	Schemes int `json:"schemes"`
 }
 
+// MemoryStatus is the memory state of the dataset session a job mines
+// (or mined) against — snapshotted live at status time while the job
+// runs, frozen at its completion. The session is shared by every job on
+// the dataset, so the numbers describe the dataset's cache, not this
+// job alone: bytes_live is the PLI occupancy against the service's
+// -cache-bytes budget, evictions counts partitions dropped to stay
+// inside it (each one a future recompute, never a changed result).
+type MemoryStatus struct {
+	BytesLive  int64 `json:"bytes_live"`
+	Evictions  int   `json:"evictions"`
+	PLIEntries int   `json:"pli_entries"`
+	HCached    int   `json:"h_cached"`
+}
+
 // JobStatus is the wire representation of a job (GET /jobs/{id}).
 type JobStatus struct {
-	ID         string     `json:"id"`
-	Dataset    string     `json:"dataset"`
-	Mode       string     `json:"mode"`
-	Epsilon    float64    `json:"epsilon"`
-	State      State      `json:"state"`
-	Error      string     `json:"error,omitempty"`
-	CacheHit   bool       `json:"cache_hit,omitempty"`
-	Progress   Progress   `json:"progress"`
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ID         string        `json:"id"`
+	Dataset    string        `json:"dataset"`
+	Mode       string        `json:"mode"`
+	Epsilon    float64       `json:"epsilon"`
+	State      State         `json:"state"`
+	Error      string        `json:"error,omitempty"`
+	CacheHit   bool          `json:"cache_hit,omitempty"`
+	Progress   Progress      `json:"progress"`
+	Memory     *MemoryStatus `json:"memory,omitempty"`
+	CreatedAt  time.Time     `json:"created_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
 }
 
 // Job is one asynchronous mining job. All mutable fields are guarded by
@@ -130,6 +145,14 @@ type Job struct {
 
 	ctx    context.Context // cancelled by DELETE or manager shutdown
 	cancel context.CancelFunc
+
+	// sess is the dataset session the job is running against, published
+	// by the worker at start so status readers can report the session's
+	// live memory state, and cleared again at finish (a retained job
+	// record must not pin a session — and its relation and caches —
+	// after the dataset is removed). Terminal statuses serve memFinal,
+	// the snapshot taken at finish, instead.
+	sess atomic.Pointer[maimon.Session]
 
 	// Live progress counters, stored from inside the miner's progress
 	// callback with atomics (the worker goroutine writes, any number of
@@ -143,6 +166,7 @@ type Job struct {
 	mu       sync.Mutex
 	state    State
 	phase    string
+	memFinal *MemoryStatus // session memory snapshot taken at finish
 	errMsg   string
 	result   *JobResult
 	cacheHit bool
@@ -195,8 +219,15 @@ func (j *Job) Result() (*JobResult, bool) {
 
 // Status returns a consistent snapshot for serialization.
 func (j *Job) Status() JobStatus {
+	// Snapshot the session stats before taking j.mu: Session.Stats walks
+	// the striped oracle counters and there is no reason to serialize
+	// status readers behind that.
+	mem := memorySnapshot(j.sess.Load())
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if mem == nil {
+		mem = j.memFinal
+	}
 	st := JobStatus{
 		ID:       j.id,
 		Dataset:  j.req.Dataset,
@@ -213,6 +244,7 @@ func (j *Job) Status() JobStatus {
 			MVDs:       int(j.mvds.Load()),
 			Schemes:    int(j.schemes.Load()),
 		},
+		Memory:    mem,
 		CreatedAt: j.created,
 	}
 	if !j.started.IsZero() {
@@ -263,16 +295,36 @@ func (j *Job) observe(p maimon.Progress) {
 	j.setPhase(p.Phase)
 }
 
+// memorySnapshot captures a session's cache state for MemoryStatus;
+// nil in, nil out.
+func memorySnapshot(sess *maimon.Session) *MemoryStatus {
+	if sess == nil {
+		return nil
+	}
+	st := sess.Stats()
+	return &MemoryStatus{
+		BytesLive:  st.PLIStats.BytesLive,
+		Evictions:  st.PLIStats.Evictions,
+		PLIEntries: st.PLIStats.Entries,
+		HCached:    st.HCached,
+	}
+}
+
 // finish records the terminal state; the first terminal transition wins.
+// It freezes the session's memory state into the status and drops the
+// session reference, so a retained job record never pins a session a
+// dataset removal has otherwise released.
 func (j *Job) finish(state State, result *JobResult, errMsg string) {
 	if !state.Terminal() {
 		panic(fmt.Sprintf("service: finish with non-terminal state %q", state))
 	}
+	mem := memorySnapshot(j.sess.Swap(nil))
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
 		return
 	}
+	j.memFinal = mem
 	j.state = state
 	j.result = result
 	j.errMsg = errMsg

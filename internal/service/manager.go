@@ -44,6 +44,10 @@ type Config struct {
 	// result it ever produced. Live (queued/running) jobs are never
 	// evicted.
 	MaxJobs int
+	// ResultCacheEntries caps how many completed job results the result
+	// cache retains (LRU past the cap); ≤ 0 means
+	// DefaultResultCacheEntries.
+	ResultCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +100,7 @@ func NewManager(reg *Registry, cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		reg:        reg,
-		cache:      newResultCache(),
+		cache:      newResultCache(cfg.ResultCacheEntries),
 		cfg:        cfg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -288,6 +292,11 @@ func (m *Manager) run(job *Job) {
 		job.finish(StateFailed, nil, fmt.Sprintf("dataset %q was removed before the job ran", job.req.Dataset))
 		return
 	}
+	// Expose the session to status readers while the job runs: GET
+	// /v1/jobs/{id} reports the live memory state (BytesLive, Evictions)
+	// of the cache this job mines against. finish() freezes the snapshot
+	// and drops the reference.
+	job.sess.Store(sess)
 	ctx := job.ctx
 	if job.req.TimeoutMS > 0 {
 		var cancel context.CancelFunc

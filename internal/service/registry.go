@@ -41,6 +41,11 @@ type DatasetInfo struct {
 // warm every later job on the same dataset (sessions are concurrency-
 // safe by construction).
 type Registry struct {
+	// opts are applied to every session the registry opens — the place
+	// service-wide session policy (e.g. maimon.WithMemoryBudget from
+	// maimond's -cache-bytes) is injected.
+	opts []maimon.Option
+
 	mu  sync.RWMutex
 	m   map[string]*entry
 	seq int64
@@ -55,9 +60,12 @@ type entry struct {
 	id int64
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*entry)}
+// NewRegistry returns an empty registry. The given options become the
+// defaults of every session it opens (maimon.WithMemoryBudget being the
+// expected one: it bounds each dataset's PLI partition cache, the
+// dominant memory of a resident service).
+func NewRegistry(opts ...maimon.Option) *Registry {
+	return &Registry{m: make(map[string]*entry), opts: opts}
 }
 
 // Add opens a session over r and registers it under name. Names are
@@ -67,7 +75,7 @@ func (g *Registry) Add(name string, r *relation.Relation) (DatasetInfo, error) {
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("service: dataset name must not be empty")
 	}
-	sess, err := maimon.Open(r)
+	sess, err := maimon.Open(r, g.opts...)
 	if err != nil {
 		return DatasetInfo{}, fmt.Errorf("service: opening session for %q: %w", name, err)
 	}

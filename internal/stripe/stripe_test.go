@@ -1,0 +1,30 @@
+package stripe
+
+import "testing"
+
+func TestCountPowersOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {255, 256}, {10000, 256},
+	} {
+		if got := Count(tc.in); got != tc.want {
+			t.Errorf("Count(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	def := Count(0)
+	if def < 8 || def > 256 || def&(def-1) != 0 {
+		t.Errorf("Count(0) = %d, want a power of two in [8,256]", def)
+	}
+}
+
+func TestHashSpreadsNeighbors(t *testing.T) {
+	// Attribute sets differ in low bits; after Hash they must not all
+	// collapse onto one shard of a small power-of-two table.
+	const mask = 7
+	seen := make(map[uint64]bool)
+	for v := uint64(1); v <= 64; v++ {
+		seen[Hash(v)&mask] = true
+	}
+	if len(seen) < 6 {
+		t.Errorf("64 consecutive keys landed on only %d of 8 shards", len(seen))
+	}
+}

@@ -38,7 +38,12 @@
 // fan out across WithWorkers goroutines — GOMAXPROCS by default — over
 // the session's single-flight entropy oracle, with results merged in
 // canonical pair order so a parallel mine is byte-identical to a serial
-// one. Session.SchemeSeq streams schemes as ASMiner synthesizes them,
+// one. A session's memory is governable: WithMemoryBudget bounds the PLI
+// partition cache, which evicts cold partitions (and recomputes them on
+// demand) rather than grow without bound — under any budget the mining
+// output stays byte-identical, only the cost moves; Session.Stats
+// reports the live occupancy and eviction pressure.
+// Session.SchemeSeq streams schemes as ASMiner synthesizes them,
 // and WithProgress delivers structured progress events from the core
 // mining loops. The legacy free functions remain deprecated but working: the
 // mining entry points (MineMVDs, MineSchemes and the *Context variants)

@@ -2,6 +2,7 @@ package maimon
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/datagen"
@@ -57,6 +58,97 @@ func TestSessionParallelMatchesSerial(t *testing.T) {
 				if parSchemes[i].Schema.Fingerprint() != serialSchemes[i].Schema.Fingerprint() {
 					t.Fatalf("%s eps=%v: scheme %d differs", name, eps, i)
 				}
+			}
+		}
+	}
+}
+
+// TestSessionParallelEvictionMatchesSerial is the memory-governance
+// determinism contract on the public API: mining output (MVDs,
+// NumMinSeps, scheme stream) must be byte-identical across
+// {serial, workers=8} × {unlimited budget, a budget tight enough to
+// force evictions mid-run}, on the planted and nursery datasets. It also
+// pins the budget semantics a warm session lives by: repeated mines
+// under a fixed WithMemoryBudget keep BytesLive within the budget at
+// rest and accumulate nonzero Evictions in Session.Stats().
+func TestSessionParallelEvictionMatchesSerial(t *testing.T) {
+	planted, _, err := datagen.Planted(datagen.PlantedSpec{
+		Bags: datagen.ChainBags(10, 4, 1), Seed: 23, RootTuples: 10, ExtPerSep: 2, NoiseCells: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := map[string]*Relation{
+		"planted": planted,
+		"nursery": Nursery().Head(1200),
+	}
+	ctx := context.Background()
+	eps := 0.1
+	type outcome struct {
+		schemes []string
+		mvds    int
+		minseps int
+	}
+	for name, r := range rels {
+		// Reference: serial, unlimited budget. Also learns the footprint
+		// the budgeted runs squeeze.
+		ref, err := Open(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine := func(s *Session, workers int) outcome {
+			schemes, res, err := s.MineSchemes(ctx,
+				WithEpsilon(eps), WithMaxSchemes(30), WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			out := outcome{mvds: len(res.MVDs), minseps: res.NumMinSeps()}
+			for _, sc := range schemes {
+				out.schemes = append(out.schemes, sc.Schema.Fingerprint())
+			}
+			return out
+		}
+		want := mine(ref, 1)
+		budget := ref.Stats().PLIStats.BytesLive / 8
+		if budget < 1 {
+			budget = 1
+		}
+
+		check := func(label string, got outcome) {
+			t.Helper()
+			if got.mvds != want.mvds || got.minseps != want.minseps {
+				t.Fatalf("%s %s: %d MVDs / %d minseps, want %d / %d",
+					name, label, got.mvds, got.minseps, want.mvds, want.minseps)
+			}
+			if len(got.schemes) != len(want.schemes) {
+				t.Fatalf("%s %s: %d schemes, want %d", name, label, len(got.schemes), len(want.schemes))
+			}
+			for i := range want.schemes {
+				if got.schemes[i] != want.schemes[i] {
+					t.Fatalf("%s %s: scheme %d differs", name, label, i)
+				}
+			}
+		}
+		check(name+" workers=8 unlimited", mine(ref, 8))
+
+		for _, workers := range []int{1, 8} {
+			s, err := Open(r, WithMemoryBudget(budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A warm session mined repeatedly under the fixed budget:
+			// bounded occupancy at rest after every round, evictions
+			// accumulating, results identical every time.
+			for round := 0; round < 2; round++ {
+				check(fmt.Sprintf("workers=%d budget=%d round=%d", workers, budget, round), mine(s, workers))
+				st := s.Stats()
+				if st.PLIStats.BytesLive > budget {
+					t.Fatalf("%s workers=%d round=%d: BytesLive %d over budget %d at rest",
+						name, workers, round, st.PLIStats.BytesLive, budget)
+				}
+			}
+			if st := s.Stats(); st.PLIStats.Evictions == 0 {
+				t.Fatalf("%s workers=%d: budget %d forced no evictions", name, workers, budget)
 			}
 		}
 	}

@@ -22,8 +22,10 @@ import (
 type Progress = core.Progress
 
 // PLIConfig tunes the PLI partition cache behind a session's entropy
-// oracle: BlockSize is the paper's L (Sec. 6.3), MaxEntries caps retained
-// partitions (0 = unlimited).
+// oracle: BlockSize is the paper's L (Sec. 6.3), MaxBytes is the memory
+// budget eviction enforces (0 = unlimited; WithMemoryBudget is the
+// shorthand), Shards overrides the cache's shard count, and MaxEntries
+// is the deprecated entry-count cap.
 type PLIConfig = pli.Config
 
 // Stats is a snapshot of a session's entropy-oracle counters: H calls,
@@ -107,6 +109,20 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // oracle. It is honored by Open only — the oracle is built once per
 // session — and ignored by the per-call mining methods.
 func WithPLIConfig(cfg PLIConfig) Option { return func(c *config) { c.pliCfg = cfg } }
+
+// WithMemoryBudget bounds the bytes the session's PLI partition cache
+// retains (the entropy memo itself is 8 bytes per set and is not
+// governed). When mining pushes the cache past the budget, cold
+// partitions are evicted — sharded clock eviction, single-attribute
+// partitions always pinned — and recomputed if needed again, so a budget
+// trades recomputation for residency and never changes mining results: a
+// run under any budget is byte-identical to an unlimited one. bytes <= 0
+// means unlimited (the default). Honored by Open only, like
+// WithPLIConfig; Session.Stats reports the live occupancy
+// (PLIStats.BytesLive) and the eviction count (PLIStats.Evictions).
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *config) { c.pliCfg.MaxBytes = bytes }
+}
 
 // WithProgress installs a callback receiving structured Progress events
 // from the core mining loops.

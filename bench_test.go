@@ -332,6 +332,41 @@ func BenchmarkMicro_PLIIntersect(b *testing.B) {
 	}
 }
 
+// BenchmarkIntersect compares the intersection engines head to head (run
+// with -benchmem; cmd/experiments -bench-intersect-json records the same
+// comparison as BENCH_intersect.json):
+//
+//	map          the historical hash-map grouping (pli.IntersectMap)
+//	arena        dense count-then-fill on a persistent arena, owned result
+//	arena-view   same, result backed by arena buffers — zero allocations
+//	entropy-only streaming count, no partition materialized at all
+func BenchmarkIntersect(b *testing.B) {
+	r := benchNursery(b)
+	pa := pli.SingleAttribute(r, 0)
+	pb := pli.SingleAttribute(r, 1)
+	a := pli.NewArena()
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pli.IntersectMap(pa, pb)
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Intersect(pa, pb)
+		}
+	})
+	b.Run("arena-view", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.IntersectView(pa, pb)
+		}
+	})
+	b.Run("entropy-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.IntersectEntropy(pa, pb)
+		}
+	})
+}
+
 func BenchmarkMicro_MineMinSepsPair(b *testing.B) {
 	r := benchNursery(b)
 	b.ResetTimer()

@@ -51,6 +51,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel mining fan-out for the drivers (<= 1 = serial, the paper's setting)")
 		benchJSON = flag.String("bench-json", "", "run the warm-parallel-vs-serial bench and write its rows to this JSON file")
 		memJSON   = flag.String("bench-memory-json", "", "run the memory-budget sweep and write its rows to this JSON file")
+		interJSON = flag.String("bench-intersect-json", "", "run the map-vs-arena intersection bench and write its rows to this JSON file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -78,6 +79,13 @@ func main() {
 	}
 	if *memJSON != "" {
 		if err := writeMemoryJSON(cfg, *memJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *interJSON != "" {
+		if err := writeIntersectJSON(cfg, *interJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -116,12 +124,12 @@ func main() {
 	}
 }
 
-// writeBenchJSON runs the warm-parallel-vs-serial benchmark and records
-// its machine-readable rows — {dataset, workers, wall_ms, h_calls,
-// speedup} — so the perf trajectory of the parallel pipeline is tracked
-// across commits (BENCH_parallel.json at the repo root).
-func writeBenchJSON(cfg experiments.Config, path string) error {
-	rows, _, err := experiments.ParallelBench(cfg)
+// writeRowsJSON runs one machine-readable benchmark and writes its rows
+// as indented JSON — the shared tail of every -bench-*-json flag, so the
+// output contract (indentation, trailing newline, permissions, the
+// "wrote N rows" confirmation) lives in one place.
+func writeRowsJSON[Row any](path string, run func(experiments.Config) ([]Row, string, error), cfg experiments.Config) error {
+	rows, _, err := run(cfg)
 	if err != nil {
 		return err
 	}
@@ -136,6 +144,14 @@ func writeBenchJSON(cfg experiments.Config, path string) error {
 	return nil
 }
 
+// writeBenchJSON runs the warm-parallel-vs-serial benchmark and records
+// its machine-readable rows — {dataset, workers, wall_ms, h_calls,
+// speedup} — so the perf trajectory of the parallel pipeline is tracked
+// across commits (BENCH_parallel.json at the repo root).
+func writeBenchJSON(cfg experiments.Config, path string) error {
+	return writeRowsJSON(path, experiments.ParallelBench, cfg)
+}
+
 // writeMemoryJSON runs the memory-budget sweep — warm re-mines of the
 // planted and nursery generators under shrinking PLI budgets — and
 // records its machine-readable rows, {dataset, budget_bytes, wall_ms,
@@ -143,19 +159,17 @@ func writeBenchJSON(cfg experiments.Config, path string) error {
 // eviction pressure costs across commits (BENCH_memory.json at the repo
 // root).
 func writeMemoryJSON(cfg experiments.Config, path string) error {
-	rows, _, err := experiments.MemoryBench(cfg)
-	if err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %d bench rows to %s\n", len(rows), path)
-	return nil
+	return writeRowsJSON(path, experiments.MemoryBench, cfg)
+}
+
+// writeIntersectJSON runs the intersection-engine benchmark — the
+// historical hash-map grouping against the arena's dense count-then-fill
+// path, on the planted and nursery generators — and records its
+// machine-readable rows, {dataset, engine, wall_ms, allocs, bytes_alloc,
+// gomaxprocs, numcpu}, so the allocation profile of the hot path is
+// tracked across commits (BENCH_intersect.json at the repo root).
+func writeIntersectJSON(cfg experiments.Config, path string) error {
+	return writeRowsJSON(path, experiments.IntersectBench, cfg)
 }
 
 func banner(title string) {

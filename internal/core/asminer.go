@@ -70,7 +70,7 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 		s := &Scheme{
 			Schema:  sch,
 			Tree:    tree,
-			J:       info.JTree(m.oracle, tree),
+			J:       info.JTree(m.src, tree),
 			Support: q,
 		}
 		streamed++

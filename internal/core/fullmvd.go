@@ -16,9 +16,14 @@ import (
 // the relation behind them is shared read-only).
 type Miner struct {
 	oracle *entropy.Oracle
-	opts   Options
-	ctx    context.Context // bound by WithContext; polled by every loop
-	cause  error           // first stop cause (context error or ErrInterrupted)
+	// src is the entropy source all J evaluations go through: the oracle
+	// itself on a serial miner, a worker-local entropy.Local (carrying a
+	// per-goroutine PLI arena) on the forked workers of the parallel
+	// pipeline — same memo and counters either way.
+	src   info.Source
+	opts  Options
+	ctx   context.Context // bound by WithContext; polled by every loop
+	cause error           // first stop cause (context error or ErrInterrupted)
 
 	// searchStats accumulates across getFullMVDs invocations; curVisited
 	// counts candidates inspected by the invocation in flight (for
@@ -41,7 +46,7 @@ type SearchStats struct {
 
 // NewMiner builds a miner over the oracle with the given options.
 func NewMiner(o *entropy.Oracle, opts Options) *Miner {
-	return &Miner{oracle: o, opts: opts, ctx: context.Background()}
+	return &Miner{oracle: o, src: o, opts: opts, ctx: context.Background()}
 }
 
 // Oracle exposes the underlying entropy oracle (stats reporting).
@@ -53,10 +58,10 @@ func (m *Miner) Options() Options { return m.opts }
 // SearchStats returns accumulated search counters.
 func (m *Miner) SearchStats() SearchStats { return m.searchStats }
 
-// J evaluates the J-measure of an MVD against the miner's oracle.
+// J evaluates the J-measure of an MVD against the miner's entropy source.
 func (m *Miner) J(phi mvd.MVD) float64 {
 	m.searchStats.JEvals++
-	return info.JMVD(m.oracle, phi)
+	return info.JMVD(m.src, phi)
 }
 
 // GetFullMVDs is getFullMVDs/getFullMVDsOpt (paper Figs. 6 and 17): it
@@ -172,7 +177,7 @@ func (m *Miner) pairwiseConsistent(phi mvd.MVD, a, b int) (mvd.MVD, bool) {
 func (m *Miner) findInconsistentPair(phi mvd.MVD) (int, int) {
 	for i := 0; i < len(phi.Deps); i++ {
 		for j := i + 1; j < len(phi.Deps); j++ {
-			if !info.LeqEps(m.oracle.MI(phi.Deps[i], phi.Deps[j], phi.Key), m.opts.Epsilon) {
+			if !info.LeqEps(m.src.MI(phi.Deps[i], phi.Deps[j], phi.Key), m.opts.Epsilon) {
 				return i, j
 			}
 		}

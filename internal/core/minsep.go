@@ -48,7 +48,7 @@ func (m *Miner) MineMinSeps(a, b int) []bitset.AttrSet {
 
 	// Line 3: the largest candidate key is Ω \ {a,b}; if even it does not
 	// separate, no separator exists (Prop. 5.1 Eq. 8).
-	if !info.LeqEps(m.oracle.MI(bitset.Single(a), bitset.Single(b), universe), m.opts.Epsilon) {
+	if !info.LeqEps(m.src.MI(bitset.Single(a), bitset.Single(b), universe), m.opts.Epsilon) {
 		return nil
 	}
 	first := m.ReduceMinSep(universe, a, b)

@@ -17,11 +17,24 @@ import (
 
 // fork returns a worker-local view of the miner: same oracle, options and
 // context, fresh counters. The progress callback is stripped — the
-// parallel drivers aggregate and emit progress themselves.
+// parallel drivers aggregate and emit progress themselves. The worker's
+// entropy source starts as the shared oracle; the fan-out rebinds it to a
+// worker-local view (bindLocal) for the goroutine's lifetime.
 func (m *Miner) fork() *Miner {
-	w := &Miner{oracle: m.oracle, opts: m.opts, ctx: m.ctx}
+	w := &Miner{oracle: m.oracle, src: m.oracle, opts: m.opts, ctx: m.ctx}
 	w.opts.Progress = nil
 	return w
+}
+
+// bindLocal gives the worker a worker-local entropy view — same memo and
+// single-flight as the shared oracle, plus a dedicated PLI arena, so the
+// worker's entropy misses never contend on the arena pool or allocate
+// intersection scratch. The returned release must run when the worker
+// goroutine exits.
+func (w *Miner) bindLocal() (release func()) {
+	loc := w.oracle.Local()
+	w.src = loc
+	return loc.Release
 }
 
 // workers resolves the fan-out for the oracle-bound phases: serial unless
@@ -126,6 +139,7 @@ func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, ph
 		go func() {
 			defer wg.Done()
 			w := m.fork()
+			defer w.bindLocal()()
 			defer func() {
 				statsMu.Lock()
 				m.searchStats.add(w.searchStats)

@@ -11,6 +11,7 @@ package entropy
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/pli"
@@ -56,15 +57,20 @@ type Oracle struct {
 	shards []memoShard
 	mask   uint64
 
-	// The unshared single-goroutine hot path keeps its plain map and
-	// plain counters, untouched by the sharding machinery.
+	// The unshared single-goroutine hot path keeps its plain map, plain
+	// counters, and one dedicated PLI arena, untouched by the sharding
+	// machinery.
 	memo  map[bitset.AttrSet]float64
+	arena *pli.Arena
 	stats Stats
 }
 
 // memoShard is one stripe of the shared oracle: memo slice, in-flight
 // latches, and counters, padded so neighboring shards do not share cache
-// lines (the whole point of striping the counters).
+// lines (the whole point of striping the counters). miCalls is a lock-free
+// atomic within the padded shard: an MI evaluation bumps it without
+// acquiring the shard mutex, so J-heavy workloads pay a striped atomic
+// add, not a lock acquisition, per call.
 type memoShard struct {
 	mu       sync.Mutex
 	memo     map[bitset.AttrSet]float64
@@ -72,7 +78,7 @@ type memoShard struct {
 
 	hCalls  int
 	hCached int
-	miCalls int
+	miCalls atomic.Int64
 
 	_ [64]byte
 }
@@ -89,6 +95,7 @@ func NewWithConfig(r *relation.Relation, cfg pli.Config) *Oracle {
 		rel:   r,
 		cache: pli.NewCache(r, cfg),
 		memo:  make(map[bitset.AttrSet]float64),
+		arena: pli.NewArena(),
 		logN:  math.Log2(float64(r.NumRows())),
 	}
 }
@@ -110,7 +117,8 @@ type flight struct {
 // requests wait on the first — so concurrent miners at different
 // thresholds still share every partition and entropy computed by any of
 // them, without serializing on a global lock. This is the oracle behind
-// maimon.Session and the parallel mining pipeline (core.Options.Workers).
+// maimon.Session and the parallel mining pipeline (core.Options.Workers);
+// its workers each hold a Local view carrying a worker-private PLI arena.
 func NewShared(r *relation.Relation, cfg pli.Config) *Oracle {
 	o := NewWithConfig(r, cfg)
 	o.shared = true
@@ -152,8 +160,8 @@ func (o *Oracle) Stats() Stats {
 			sh.mu.Lock()
 			s.HCalls += sh.hCalls
 			s.HCached += sh.hCached
-			s.MICalls += sh.miCalls
 			sh.mu.Unlock()
+			s.MICalls += int(sh.miCalls.Load())
 		}
 		return s
 	}
@@ -166,8 +174,14 @@ func (o *Oracle) Stats() Stats {
 // H(∅) = 0 and H(Ω) = log2 N when rows are distinct.
 func (o *Oracle) H(attrs bitset.AttrSet) float64 {
 	if o.shared {
-		return o.sharedH(attrs)
+		return o.sharedH(nil, attrs)
 	}
+	return o.unsharedH(attrs)
+}
+
+// unsharedH is the single-goroutine hot path: plain map, plain counters,
+// the oracle's own arena.
+func (o *Oracle) unsharedH(attrs bitset.AttrSet) float64 {
 	o.stats.HCalls++
 	if attrs.IsEmpty() {
 		return 0
@@ -176,7 +190,7 @@ func (o *Oracle) H(attrs bitset.AttrSet) float64 {
 		o.stats.HCached++
 		return h
 	}
-	h := o.cache.Get(attrs).Entropy()
+	h := o.cache.EntropyWith(o.arena, attrs)
 	o.memo[attrs] = h
 	return h
 }
@@ -186,8 +200,11 @@ func (o *Oracle) H(attrs bitset.AttrSet) float64 {
 // on a miss — installing or finding the in-flight latch. The shard lock
 // is never held across the partition computation, so distinct sets
 // compute concurrently (on the same shard included) while duplicates of
-// the same set wait on their flight.
-func (o *Oracle) sharedH(attrs bitset.AttrSet) float64 {
+// the same set wait on their flight. The compute runs on the caller's
+// arena when one is threaded in (workers mining through a Local), or on
+// a pooled arena otherwise — this single-flight compute is the one place
+// partitions are built, so it is where the arena matters.
+func (o *Oracle) sharedH(a *pli.Arena, attrs bitset.AttrSet) float64 {
 	sh := o.memoShardOf(attrs)
 	sh.mu.Lock()
 	sh.hCalls++
@@ -212,7 +229,13 @@ func (o *Oracle) sharedH(attrs bitset.AttrSet) float64 {
 	sh.inflight[attrs] = f
 	sh.mu.Unlock()
 
-	f.h = o.cache.Get(attrs).Entropy()
+	if a != nil {
+		f.h = o.cache.EntropyWith(a, attrs)
+	} else {
+		pa := pli.GetArena()
+		f.h = o.cache.EntropyWith(pa, attrs)
+		pli.PutArena(pa)
+	}
 
 	sh.mu.Lock()
 	sh.memo[attrs] = f.h
@@ -227,6 +250,17 @@ func (o *Oracle) CondH(y, x bitset.AttrSet) float64 {
 	return o.H(x.Union(y)) - o.H(x)
 }
 
+// countMI bumps the MI counter: a striped per-shard atomic on the shared
+// path (no lock acquisition — MI is evaluated once per J on J-heavy
+// workloads), a plain int on the unshared one.
+func (o *Oracle) countMI(x bitset.AttrSet) {
+	if o.shared {
+		o.memoShardOf(x).miCalls.Add(1)
+	} else {
+		o.stats.MICalls++
+	}
+}
+
 // MI returns the conditional mutual information
 //
 //	I(Y;Z|X) = H(XY) + H(XZ) − H(XYZ) − H(X)     (Eq. 2)
@@ -235,14 +269,7 @@ func (o *Oracle) CondH(y, x bitset.AttrSet) float64 {
 // distributions, and clamping removes the tiny negative values that
 // floating-point cancellation can produce.
 func (o *Oracle) MI(y, z, x bitset.AttrSet) float64 {
-	if o.shared {
-		sh := o.memoShardOf(x)
-		sh.mu.Lock()
-		sh.miCalls++
-		sh.mu.Unlock()
-	} else {
-		o.stats.MICalls++
-	}
+	o.countMI(x)
 	v := o.H(x.Union(y)) + o.H(x.Union(z)) - o.H(x.Union(y).Union(z)) - o.H(x)
 	if v < 0 {
 		return 0
@@ -253,6 +280,61 @@ func (o *Oracle) MI(y, z, x bitset.AttrSet) float64 {
 // LogN returns log2 N, the entropy of the full relation when all rows are
 // distinct (Sec. 3.2).
 func (o *Oracle) LogN() float64 { return o.logN }
+
+// Local is a worker-local view of an oracle: the same memo, cache, and
+// counters, plus a dedicated PLI arena for this goroutine's single-flight
+// computes, so a worker mining through it never touches the arena pool or
+// allocates intersection scratch on the hot path. The parallel mining
+// pipeline hands one to each worker goroutine.
+//
+// A Local is bound to one goroutine at a time; Release returns its arena
+// to the pool. H/CondH/MI are semantically identical to the oracle's own
+// (same memo, same single-flight, same counters), so a Local satisfies
+// the same entropy-source contract miners program against.
+type Local struct {
+	o *Oracle
+	a *pli.Arena
+}
+
+// Local checks a worker-local view out of the arena pool.
+func (o *Oracle) Local() *Local {
+	return &Local{o: o, a: pli.GetArena()}
+}
+
+// Oracle returns the oracle behind the view.
+func (l *Local) Oracle() *Oracle { return l.o }
+
+// Release returns the view's arena to the pool; the Local must not be
+// used afterwards.
+func (l *Local) Release() {
+	if l.a != nil {
+		pli.PutArena(l.a)
+		l.a = nil
+	}
+}
+
+// H is Oracle.H computed on the view's arena.
+func (l *Local) H(attrs bitset.AttrSet) float64 {
+	if l.o.shared {
+		return l.o.sharedH(l.a, attrs)
+	}
+	return l.o.unsharedH(attrs)
+}
+
+// CondH returns H(Y|X) = H(XY) − H(X).
+func (l *Local) CondH(y, x bitset.AttrSet) float64 {
+	return l.H(x.Union(y)) - l.H(x)
+}
+
+// MI is Oracle.MI computed on the view's arena.
+func (l *Local) MI(y, z, x bitset.AttrSet) float64 {
+	l.o.countMI(x)
+	v := l.H(x.Union(y)) + l.H(x.Union(z)) - l.H(x.Union(y).Union(z)) - l.H(x)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
 
 // NaiveH computes H(Xα) directly by grouping projected rows, without the
 // PLI machinery. It exists to validate the oracle in tests.

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/pli"
+	"repro/internal/relation"
+)
+
+// IntersectBenchRow is one measurement of the intersection-engine
+// benchmark; the rows are what cmd/experiments -bench-intersect-json
+// serializes into BENCH_intersect.json, tracking what the arena rewrite
+// of the partition engine buys (and that it keeps buying it) across
+// commits. Engine is "map" (the historical hash-map grouping, kept as
+// pli.IntersectMap) or "arena" (the dense count-then-fill scratch
+// engine behind every cache miss).
+type IntersectBenchRow struct {
+	Dataset    string  `json:"dataset"`
+	Engine     string  `json:"engine"`
+	WallMS     float64 `json:"wall_ms"`
+	Allocs     uint64  `json:"allocs"`
+	BytesAlloc uint64  `json:"bytes_alloc"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
+}
+
+// intersectWorkload runs the engine over a deterministic blockwise-style
+// workload on r: every attribute pair's intersection of single-attribute
+// partitions, then every consecutive triple as a chained intersection —
+// the two shapes the cache's assembly performs. It returns an entropy
+// checksum so the compiler cannot discard the work and the two engines
+// can be cross-checked.
+func intersectWorkload(r *relation.Relation, intersect func(p, q *pli.Partition) *pli.Partition) float64 {
+	n := r.NumCols()
+	singles := make([]*pli.Partition, n)
+	for j := 0; j < n; j++ {
+		singles[j] = pli.SingleAttribute(r, j)
+	}
+	sum := 0.0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pab := intersect(singles[a], singles[b])
+			sum += pab.Entropy()
+			if c := b + 1; c < n {
+				sum += intersect(pab, singles[c]).Entropy()
+			}
+		}
+	}
+	return sum
+}
+
+// IntersectBench measures the partition-intersection engine head to head:
+// the historical map grouping versus the arena's count-then-fill path,
+// on the planted and nursery generators. Wall-clock is the best of three
+// runs; allocation counts and bytes are per single run (they do not vary
+// across runs once the arena is warm). The engines must agree on the
+// entropy checksum — a drifted result fails the bench rather than
+// recording a wrong number.
+func IntersectBench(cfg Config) ([]IntersectBenchRow, string, error) {
+	rep := newReport(cfg.Out)
+	rels, order, err := parallelBenchDatasets(cfg.Scale)
+	if err != nil {
+		return nil, "", err
+	}
+	arena := pli.NewArena()
+	engines := []struct {
+		name string
+		fn   func(p, q *pli.Partition) *pli.Partition
+	}{
+		{"map", pli.IntersectMap},
+		{"arena", arena.Intersect},
+	}
+	var rows []IntersectBenchRow
+	for _, name := range order {
+		r := rels[name]
+		rep.printf("\nIntersect bench (%s): %d cols, %d rows\n", name, r.NumCols(), r.NumRows())
+		rep.printf("%8s %10s %12s %14s\n", "engine", "wall[ms]", "allocs", "bytes alloc")
+		checksums := make(map[string]float64)
+		for _, eng := range engines {
+			// Warm once: grows the arena to the workload's high-water mark
+			// and builds the probe arrays both engines share.
+			checksums[eng.name] = intersectWorkload(r, eng.fn)
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			intersectWorkload(r, eng.fn)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+
+			best := wall
+			for it := 0; it < 2; it++ {
+				start = time.Now()
+				intersectWorkload(r, eng.fn)
+				if w := time.Since(start); w < best {
+					best = w
+				}
+			}
+			rows = append(rows, IntersectBenchRow{
+				Dataset:    name,
+				Engine:     eng.name,
+				WallMS:     float64(best.Microseconds()) / 1000,
+				Allocs:     after.Mallocs - before.Mallocs,
+				BytesAlloc: after.TotalAlloc - before.TotalAlloc,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				NumCPU:     runtime.NumCPU(),
+			})
+			rr := rows[len(rows)-1]
+			rep.printf("%8s %10.1f %12d %14d\n", rr.Engine, rr.WallMS, rr.Allocs, rr.BytesAlloc)
+		}
+		if checksums["map"] != checksums["arena"] {
+			return nil, "", fmt.Errorf("experiments: %s: engines disagree (map %v, arena %v)",
+				name, checksums["map"], checksums["arena"])
+		}
+	}
+	return rows, rep.String(), nil
+}

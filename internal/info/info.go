@@ -9,7 +9,6 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
-	"repro/internal/entropy"
 	"repro/internal/mvd"
 	"repro/internal/schema"
 )
@@ -24,6 +23,15 @@ const Tol = 1e-9
 // LeqEps reports j ≤ eps up to Tol.
 func LeqEps(j, eps float64) bool { return j <= eps+Tol }
 
+// Source is the entropy interface the J-measures are computed against:
+// joint entropy and conditional mutual information over one relation.
+// Both *entropy.Oracle and the worker-local *entropy.Local views satisfy
+// it, so miners can thread per-goroutine arenas through the same code.
+type Source interface {
+	H(attrs bitset.AttrSet) float64
+	MI(y, z, x bitset.AttrSet) float64
+}
+
 // JMVD returns
 //
 //	J(X ↠ Y1|…|Ym) = Σ H(XYi) − (m−1)·H(X) − H(XY1…Ym)
@@ -31,7 +39,7 @@ func LeqEps(j, eps float64) bool { return j <= eps+Tol }
 // For m = 2 this equals I(Y1;Y2|X). The result is clamped at 0 to absorb
 // floating-point cancellation; J is a Shannon inequality and never truly
 // negative.
-func JMVD(o *entropy.Oracle, m mvd.MVD) float64 {
+func JMVD(o Source, m mvd.MVD) float64 {
 	sum := 0.0
 	all := m.Key
 	for _, d := range m.Deps {
@@ -47,14 +55,14 @@ func JMVD(o *entropy.Oracle, m mvd.MVD) float64 {
 
 // JStandard returns J(X ↠ Y|Z) = I(Y;Z|X) without constructing an MVD
 // value; y and z need not cover Ω.
-func JStandard(o *entropy.Oracle, x, y, z bitset.AttrSet) float64 {
+func JStandard(o Source, x, y, z bitset.AttrSet) float64 {
 	return o.MI(y.Diff(x), z.Diff(x), x)
 }
 
 // JTree returns Lee's measure of a join tree (Eq. 6):
 //
 //	J(T) = Σ_v H(χ(v)) − Σ_(u,v) H(χ(u)∩χ(v)) − H(χ(T))
-func JTree(o *entropy.Oracle, t *schema.JoinTree) float64 {
+func JTree(o Source, t *schema.JoinTree) float64 {
 	v := 0.0
 	for _, bag := range t.Bags {
 		v += o.H(bag)
@@ -72,7 +80,7 @@ func JTree(o *entropy.Oracle, t *schema.JoinTree) float64 {
 // JSchema returns J(S) for an acyclic schema by constructing any join tree
 // (Lee proved J is independent of the choice). It errors when the schema
 // is not acyclic.
-func JSchema(o *entropy.Oracle, s schema.Schema) (float64, error) {
+func JSchema(o Source, s schema.Schema) (float64, error) {
 	t, err := schema.BuildJoinTree(s)
 	if err != nil {
 		return 0, fmt.Errorf("info: J undefined: %w", err)
@@ -85,7 +93,7 @@ func JSchema(o *entropy.Oracle, s schema.Schema) (float64, error) {
 //	J(T) = Σ_{i=2..m} I(Ω_{1:(i-1)} ; Ω_i | Δ_i)
 //
 // over the tree's depth-first order. Tests assert it equals JTree.
-func TreeMISum(o *entropy.Oracle, t *schema.JoinTree) float64 {
+func TreeMISum(o Source, t *schema.JoinTree) float64 {
 	order, parents := t.DepthFirstOrder()
 	var prefix bitset.AttrSet
 	sum := 0.0
@@ -105,7 +113,7 @@ func TreeMISum(o *entropy.Oracle, t *schema.JoinTree) float64 {
 // tree — the two sides of the Shannon inequality (10) of Thm. 5.1:
 //
 //	max_i J(ϕ_i)  ≤  J(T)  ≤  Σ_i J(ϕ_i)
-func SupportMVDBound(o *entropy.Oracle, t *schema.JoinTree) (max, sum float64) {
+func SupportMVDBound(o Source, t *schema.JoinTree) (max, sum float64) {
 	for _, m := range t.Support() {
 		j := JMVD(o, m)
 		if j > max {

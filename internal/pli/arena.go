@@ -1,0 +1,279 @@
+package pli
+
+import (
+	"math"
+	"slices"
+	"sync"
+)
+
+// Arena is the reusable scratch state of the dense intersection engine.
+// The hash-map grouping of IntersectMap allocated a map, one append chain
+// per group, and one heap copy per surviving cluster on every call; an
+// Arena replaces all of that with flat scratch arrays that grow to the
+// workload's high-water mark and are then reused, so steady-state
+// intersections perform zero amortized allocations beyond the retained
+// result itself (and none at all on the view and count-only paths).
+//
+// The engine exploits that probe[tid] is a q-cluster index bounded by
+// q.NumClusters(): grouping is a dense counts array indexed by that id
+// plus a touched-list to reset only what was written, never a rehash.
+// Each operation is two passes — count (group sizes, first rows) then
+// fill (row placement at precomputed offsets) — with the canonical
+// first-row cluster order fixed between the passes, so results are
+// byte-identical to IntersectMap and FromAttrs, fused entropy included.
+//
+// An Arena is not safe for concurrent use; check one out per goroutine
+// (the parallel miners hold one per worker via entropy.Oracle.Local) or
+// use the package pool (GetArena/PutArena), which the convenience
+// wrappers fall back to.
+type Arena struct {
+	counts  []int32 // q-cluster id -> running count / fill cursor; all zero between ops
+	touched []int32 // q-cluster ids touched by the current p-cluster
+	descs   []groupDesc
+	order   []int32 // indices into descs of surviving groups, canonical order
+	offsets []int32 // staged offsets of the would-be result
+	rows    []int32 // backing rows for IntersectView results
+	view    Partition
+
+	// staged operands and shape from the latest count pass; Intersect and
+	// the cache's price-then-decide path consume them.
+	stagedP, stagedQ *Partition
+	nClusters, nRows int
+	hsum             float64
+}
+
+// groupDesc is one grouping cell of the count pass: a (p-cluster,
+// q-cluster) co-occurrence, in first-touch order. start is the cluster's
+// offset in the result, assigned during canonicalization; -1 marks groups
+// stripped as singletons.
+type groupDesc struct {
+	first int32 // smallest row id of the group (rows are scanned ascending)
+	count int32
+	start int32
+}
+
+// NewArena returns an empty arena; its scratch grows on first use.
+func NewArena() *Arena { return &Arena{} }
+
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+// GetArena checks an arena out of the package pool.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena returns an arena to the package pool. The caller must not use
+// the arena — or any IntersectView result backed by it — afterwards.
+func PutArena(a *Arena) {
+	a.clearStaged()
+	arenaPool.Put(a)
+}
+
+// clearStaged drops the operand references of the latest count pass so a
+// resting arena (pooled, or held across H calls by an oracle or worker
+// view) never pins partitions — and their probe arrays — that the
+// cache's memory budget believes evicted.
+func (a *Arena) clearStaged() { a.stagedP, a.stagedQ = nil, nil }
+
+// Intersect returns the stripped partition for the union of the attribute
+// sets represented by p and q, as an owned, immutable Partition (the only
+// allocations are the result's own arrays). Byte-identical to
+// IntersectMap(p, q).
+func (a *Arena) Intersect(p, q *Partition) *Partition {
+	a.stage(p, q)
+	return a.finish()
+}
+
+// finish materializes the staged count pass into an owned Partition,
+// allocating exactly the retained arrays. The cache calls it after
+// pricing a staged result; everyone else goes through Intersect.
+func (a *Arena) finish() *Partition {
+	out := &Partition{n: a.stagedP.n, hsum: a.hsum}
+	if a.nClusters == 0 {
+		return out
+	}
+	out.rows = make([]int32, a.nRows)
+	out.offsets = make([]int32, a.nClusters+1)
+	copy(out.offsets, a.offsets[:a.nClusters+1])
+	a.fill(out.rows)
+	a.clearStaged()
+	return out
+}
+
+// IntersectView computes the same partition as Intersect but backs it
+// with the arena's own buffers: zero allocations in steady state. The
+// returned partition is valid only until the arena's next operation (or
+// PutArena) and must not be retained or shared across goroutines; callers
+// that need to keep it use Intersect instead.
+func (a *Arena) IntersectView(p, q *Partition) *Partition {
+	a.stage(p, q)
+	v := &a.view
+	v.n = a.stagedP.n
+	v.hsum = a.hsum
+	v.rows = nil
+	v.offsets = nil
+	v.probe.Store(nil)
+	v.clusters.Store(nil)
+	if a.nClusters > 0 {
+		a.rows = growInt32(a.rows, a.nRows)
+		a.fill(a.rows[:a.nRows])
+		v.rows = a.rows[:a.nRows]
+		v.offsets = a.offsets[:a.nClusters+1]
+	}
+	a.clearStaged()
+	return v
+}
+
+// IntersectEntropy returns the entropy of the intersection partition
+// without materializing it at all: the count pass alone fixes the cluster
+// sizes, and the fused sum is accumulated in canonical first-row order,
+// so the result is bit-identical to Intersect(p, q).Entropy(). Zero
+// allocations in steady state — this is the cache's streaming path for
+// partitions that a memory budget would evict immediately.
+func (a *Arena) IntersectEntropy(p, q *Partition) float64 {
+	a.stage(p, q)
+	return a.stagedEntropy()
+}
+
+// stagedEntropy reads the entropy of the staged count pass and releases
+// the staged operands (the count result is all that is needed).
+func (a *Arena) stagedEntropy() float64 {
+	n := a.stagedP.n
+	a.clearStaged()
+	if n == 0 {
+		return 0
+	}
+	return math.Log2(float64(n)) - a.hsum/float64(n)
+}
+
+// stagedSizeBytes prices the staged result without building it: what
+// SizeBytes would report for the partition finish would produce.
+func (a *Arena) stagedSizeBytes() int64 {
+	return sizeBytesFor(a.stagedP.n, a.nClusters, a.nRows)
+}
+
+// stage runs the count pass and canonicalization for p ∩ q: group sizes
+// and first rows per (p-cluster, q-cluster) cell, surviving clusters
+// ordered by first row, result offsets and the fused entropy sum fixed.
+// After stage, finish / fill materialize rows without re-deriving shape.
+func (a *Arena) stage(p, q *Partition) {
+	if p.n != q.n {
+		panic("pli: intersecting partitions over different relations")
+	}
+	// Iterate the smaller operand for speed; intersection is symmetric.
+	if q.Size() < p.Size() {
+		p, q = q, p
+	}
+	a.stagedP, a.stagedQ = p, q
+	probe := q.Probe()
+	nq := q.NumClusters()
+	if cap(a.counts) < nq {
+		a.counts = make([]int32, nq)
+	} else {
+		a.counts = a.counts[:nq]
+	}
+	a.descs = a.descs[:0]
+
+	// Count pass: group the rows of each p-cluster by their q-cluster id.
+	// counts is zero everywhere between clusters (only touched ids are
+	// written and they are reset as the cluster closes), so "count == 0"
+	// doubles as the first-touch test.
+	for ci := 0; ci < p.NumClusters(); ci++ {
+		cluster := p.Cluster(ci)
+		a.touched = a.touched[:0]
+		for _, tid := range cluster {
+			qi := probe[tid]
+			if qi < 0 {
+				continue // singleton in q => singleton in the intersection
+			}
+			if a.counts[qi] == 0 {
+				a.touched = append(a.touched, qi)
+				a.descs = append(a.descs, groupDesc{first: tid, start: -1})
+			}
+			a.counts[qi]++
+		}
+		base := len(a.descs) - len(a.touched)
+		for k, qi := range a.touched {
+			a.descs[base+k].count = a.counts[qi]
+			a.counts[qi] = 0
+		}
+	}
+
+	// Canonicalize: surviving clusters (size >= 2) in first-row order —
+	// the same order sortClusters fixes for the reference builders. The
+	// fused entropy sum runs over the clusters in exactly that order, so
+	// it is bit-identical to a pass over the materialized result.
+	a.order = a.order[:0]
+	for i := range a.descs {
+		if a.descs[i].count >= 2 {
+			a.order = append(a.order, int32(i))
+		}
+	}
+	slices.SortFunc(a.order, func(x, y int32) int {
+		return int(a.descs[x].first - a.descs[y].first)
+	})
+	a.offsets = growInt32(a.offsets, len(a.order)+1)
+	a.offsets[0] = 0
+	cur := int32(0)
+	hsum := 0.0
+	for k, di := range a.order {
+		d := &a.descs[di]
+		d.start = cur
+		cur += d.count
+		a.offsets[k+1] = cur
+		kk := float64(d.count)
+		hsum += kk * math.Log2(kk)
+	}
+	a.nClusters = len(a.order)
+	a.nRows = int(cur)
+	a.hsum = hsum
+}
+
+// fill is the second pass: re-scan the staged p-clusters in the same
+// order as the count pass (so the group descriptors line up one-to-one
+// with first touches) and place each row id at its cluster's precomputed
+// offset. dst must have length a.nRows.
+func (a *Arena) fill(dst []int32) {
+	probe := a.stagedQ.Probe()
+	d := 0
+	for ci := 0; ci < a.stagedP.NumClusters(); ci++ {
+		cluster := a.stagedP.Cluster(ci)
+		a.touched = a.touched[:0]
+		for _, tid := range cluster {
+			qi := probe[tid]
+			if qi < 0 {
+				continue
+			}
+			v := a.counts[qi]
+			if v == 0 {
+				// First touch: bind this q-cluster id to the next group
+				// descriptor. Surviving groups carry their write cursor
+				// (start+1, so it is never confused with the zero
+				// sentinel); stripped singletons carry -1.
+				g := &a.descs[d]
+				d++
+				a.touched = append(a.touched, qi)
+				if g.start < 0 {
+					a.counts[qi] = -1
+				} else {
+					a.counts[qi] = g.start + 1
+				}
+				v = a.counts[qi]
+			}
+			if v > 0 {
+				dst[v-1] = tid
+				a.counts[qi] = v + 1
+			}
+		}
+		for _, qi := range a.touched {
+			a.counts[qi] = 0
+		}
+	}
+}
+
+// growInt32 resizes s to n entries, reusing its backing array when it is
+// large enough (the arena's steady state) and reallocating otherwise.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

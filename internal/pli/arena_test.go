@@ -1,0 +1,236 @@
+package pli
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// skewedRelation builds a relation whose columns mix wide uniform
+// domains, heavy skew (a dominant value), and high singleton density, so
+// intersections exercise every grouping regime: large surviving clusters,
+// stripped singletons, and empty results.
+func skewedRelation(rng *rand.Rand, rows, cols int) *relation.Relation {
+	colsData := make([][]relation.Code, cols)
+	for j := range colsData {
+		col := make([]relation.Code, rows)
+		domain := 2 + rng.Intn(rows) // from near-constant to near-distinct
+		skew := rng.Float64()
+		for i := range col {
+			if rng.Float64() < skew {
+				col[i] = 0 // dominant value
+			} else {
+				col[i] = relation.Code(rng.Intn(domain))
+			}
+		}
+		colsData[j] = col
+	}
+	names := make([]string, cols)
+	for j := range names {
+		names[j] = string(rune('A' + j))
+	}
+	r, err := relation.FromCodes(names, colsData)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestArenaIntersectEquivalence is the randomized property suite of the
+// intersection engine: on generated relations of varying domain width,
+// skew, and singleton density, the arena path, the historical map
+// grouping, and the direct FromAttrs construction must produce identical
+// partitions — cluster order, row order, entropy bits and all.
+func TestArenaIntersectEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1729))
+	a := NewArena()
+	for trial := 0; trial < 120; trial++ {
+		rows := 20 + rng.Intn(180)
+		cols := 2 + rng.Intn(5)
+		r := skewedRelation(rng, rows, cols)
+		x := bitset.AttrSet(rng.Int63()) & bitset.Full(cols)
+		y := bitset.AttrSet(rng.Int63()) & bitset.Full(cols)
+		if x.IsEmpty() || y.IsEmpty() {
+			continue
+		}
+		px, py := FromAttrs(r, x), FromAttrs(r, y)
+		want := FromAttrs(r, x.Union(y))
+		ref := IntersectMap(px, py)
+		if !Equal(ref, want) {
+			t.Fatalf("trial %d: IntersectMap(%v,%v) != FromAttrs", trial, x, y)
+		}
+		got := a.Intersect(px, py)
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: arena Intersect(%v,%v) != FromAttrs", trial, x, y)
+		}
+		if got.Entropy() != want.Entropy() || got.Entropy() != ref.Entropy() {
+			t.Fatalf("trial %d: fused entropies diverge: arena %v direct %v map %v",
+				trial, got.Entropy(), want.Entropy(), ref.Entropy())
+		}
+		// The view form must describe the same partition while it is live.
+		view := a.IntersectView(px, py)
+		if !Equal(view, want) {
+			t.Fatalf("trial %d: IntersectView(%v,%v) != FromAttrs", trial, x, y)
+		}
+		// And the pooled package-level wrapper too.
+		if !Equal(Intersect(px, py), want) {
+			t.Fatalf("trial %d: pooled Intersect(%v,%v) != FromAttrs", trial, x, y)
+		}
+	}
+}
+
+// TestIntersectEntropyExactness: the streaming count must reproduce the
+// materialized entropy bit for bit — the memory-budget path answers H
+// from it, and mined results may only be byte-identical across budgets if
+// the floats are.
+func TestIntersectEntropyExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	a := NewArena()
+	for trial := 0; trial < 150; trial++ {
+		rows := 10 + rng.Intn(300)
+		cols := 2 + rng.Intn(5)
+		r := skewedRelation(rng, rows, cols)
+		x := bitset.AttrSet(rng.Int63()) & bitset.Full(cols)
+		y := bitset.AttrSet(rng.Int63()) & bitset.Full(cols)
+		if x.IsEmpty() || y.IsEmpty() {
+			continue
+		}
+		px, py := FromAttrs(r, x), FromAttrs(r, y)
+		want := a.Intersect(px, py).Entropy()
+		got := a.IntersectEntropy(px, py)
+		if got != want {
+			t.Fatalf("trial %d: IntersectEntropy = %b, Intersect().Entropy() = %b", trial, got, want)
+		}
+	}
+}
+
+// TestArenaReuseAcrossShapes drives one arena through operands of wildly
+// different sizes in both directions, checking that scratch state never
+// leaks between operations.
+func TestArenaReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := NewArena()
+	big := skewedRelation(rng, 1000, 3)
+	small := skewedRelation(rng, 12, 3)
+	for trial := 0; trial < 40; trial++ {
+		r := big
+		if trial%2 == 1 {
+			r = small
+		}
+		pa := SingleAttribute(r, rng.Intn(3))
+		pb := SingleAttribute(r, rng.Intn(3))
+		want := IntersectMap(pa, pb)
+		if !Equal(a.Intersect(pa, pb), want) {
+			t.Fatalf("trial %d: arena result drifted after shape change", trial)
+		}
+		if h := a.IntersectEntropy(pa, pb); h != want.Entropy() {
+			t.Fatalf("trial %d: entropy drifted after shape change", trial)
+		}
+	}
+}
+
+// TestIntersectZeroAllocSteadyState is the allocation-regression gate of
+// the intersection engine: once an arena has grown to a workload's
+// high-water mark, the view and count-only paths must perform zero
+// amortized allocations per call. A regression here rebuilds the per-call
+// garbage the arena rewrite removed, so CI runs this in the race-parallel
+// job.
+func TestIntersectZeroAllocSteadyState(t *testing.T) {
+	r := datagen.Nursery().Head(2000)
+	pa := SingleAttribute(r, 0)
+	pb := SingleAttribute(r, 1)
+	a := GetArena()
+	defer PutArena(a)
+	// Warm: grow the arena scratch and build the operands' probe arrays.
+	a.IntersectView(pa, pb)
+	a.IntersectEntropy(pa, pb)
+
+	if avg := testing.AllocsPerRun(100, func() {
+		a.IntersectView(pa, pb)
+	}); avg != 0 {
+		t.Errorf("warm IntersectView allocates %v times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		a.IntersectEntropy(pa, pb)
+	}); avg != 0 {
+		t.Errorf("warm IntersectEntropy allocates %v times per run, want 0", avg)
+	}
+	// The owned form may allocate only the retained result: struct, rows,
+	// offsets. Anything more means scratch is leaking back to the heap.
+	if avg := testing.AllocsPerRun(100, func() {
+		a.Intersect(pa, pb)
+	}); avg > 3 {
+		t.Errorf("warm owned Intersect allocates %v times per run, want <= 3 (result only)", avg)
+	}
+}
+
+// TestCacheEntropyMatchesGet: the cache's entropy path — including the
+// streaming branch a byte budget triggers — must agree exactly with
+// materialized partitions, and streaming must actually happen when no
+// partition can rest within the budget.
+func TestCacheEntropyMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	r := skewedRelation(rng, 400, 8)
+	free := NewCache(r, Config{BlockSize: 3})
+	// A budget below any multi-attribute partition's floor (64 + probe +
+	// rows) forces every entropy evaluation down the streaming path.
+	tiny := NewCache(r, Config{BlockSize: 3, MaxBytes: 1})
+	for trial := 0; trial < 60; trial++ {
+		attrs := bitset.AttrSet(rng.Int63()) & bitset.Full(8)
+		if attrs.Len() < 2 {
+			continue
+		}
+		want := free.Get(attrs).Entropy()
+		if got := free.Entropy(attrs); got != want {
+			t.Fatalf("trial %d: unbudgeted Entropy(%v) = %b, Get().Entropy() = %b", trial, attrs, got, want)
+		}
+		if got := tiny.Entropy(attrs); got != want {
+			t.Fatalf("trial %d: budgeted Entropy(%v) = %b, want %b", trial, attrs, got, want)
+		}
+	}
+	if st := tiny.Stats(); st.EntropyOnly == 0 {
+		t.Fatalf("1-byte budget never streamed an entropy: %+v", st)
+	}
+	if st := free.Stats(); st.EntropyOnly != 0 {
+		t.Fatalf("unbudgeted cache streamed entropies: %+v", st)
+	}
+}
+
+// TestCacheGetRaceCountsAsHit pins the stats contract on the install
+// race: when a Get's map probe misses but another goroutine publishes the
+// entry first, the request is served warm off that entry and must count
+// as a hit. Single-flight guarantees exactly one goroutine installs a
+// fresh set's entry, so however the schedule interleaves, a burst of
+// concurrent Gets for one fresh set yields exactly one miss — before the
+// fix, every racer whose probe preceded the publish counted a miss of its
+// own despite computing nothing.
+func TestCacheGetRaceCountsAsHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := skewedRelation(rng, 300, 6)
+	attrs := bitset.Of(0, 2, 4)
+	const racers = 8
+	for round := 0; round < 20; round++ {
+		c := NewCache(r, Config{BlockSize: 3})
+		start := make(chan struct{})
+		done := make(chan struct{}, racers)
+		for g := 0; g < racers; g++ {
+			go func() {
+				<-start
+				c.Get(attrs)
+				done <- struct{}{}
+			}()
+		}
+		close(start)
+		for g := 0; g < racers; g++ {
+			<-done
+		}
+		st := c.Stats()
+		if st.Misses != 1 || st.Hits != racers-1 {
+			t.Fatalf("round %d: %d concurrent Gets of one fresh set counted %d misses / %d hits, want 1 / %d",
+				round, racers, st.Misses, st.Hits, racers-1)
+		}
+	}
+}

@@ -12,12 +12,13 @@ import (
 // Stats counts the work a Cache has done; the experiments report these to
 // show the effect of the Sec. 6.3 design.
 type Stats struct {
-	Hits       int   // cache hits on already-materialized partitions (single-attribute included)
-	Misses     int   // partitions that had to be computed
-	Intersects int   // pairwise partition intersections performed
-	Entries    int   // partitions currently cached (live, post-eviction, all shards)
-	BytesLive  int64 // bytes retained by evictable (multi-attribute) partitions
-	Evictions  int   // partitions evicted to stay within the memory budget
+	Hits        int   // cache hits on already-materialized partitions (single-attribute included)
+	Misses      int   // partitions that had to be computed
+	Intersects  int   // pairwise partition intersections performed
+	EntropyOnly int   // intersections answered as streaming counts, never materialized (memory budget)
+	Entries     int   // partitions currently cached (live, post-eviction, all shards)
+	BytesLive   int64 // bytes retained by evictable (multi-attribute) partitions
+	Evictions   int   // partitions evicted to stay within the memory budget
 }
 
 // Config tunes a Cache.
@@ -31,7 +32,10 @@ type Config struct {
 	// second-chance, per shard) until it fits again; evicted partitions
 	// are recomputed on demand, so a budget changes cost, never results.
 	// Single-attribute partitions are pinned — never evicted and not
-	// counted against the budget. <= 0 means unlimited.
+	// counted against the budget. A partition whose SizeBytes alone
+	// exceeds the budget is never materialized on the entropy path: its H
+	// is computed as a streaming count (Stats.EntropyOnly). <= 0 means
+	// unlimited.
 	MaxBytes int64
 	// MaxEntries caps the number of cached partitions (the pinned
 	// single-attribute ones included, matching its historical accounting).
@@ -69,6 +73,10 @@ func DefaultConfig() Config { return Config{BlockSize: 10} }
 // of the blockwise assembly, so they cannot cycle. In-flight entries are
 // never in a clock ring, so eviction cannot tear a latch out from under
 // its waiters.
+//
+// All computation runs on an Arena. GetWith/EntropyWith thread the
+// caller's worker-local arena through the whole blockwise chain; the
+// arena-less wrappers check one out of the package pool per call.
 type Cache struct {
 	rel    *relation.Relation
 	cfg    Config
@@ -82,10 +90,11 @@ type Cache struct {
 	entries   atomic.Int64
 	bytesLive atomic.Int64
 
-	hits       atomic.Int64
-	misses     atomic.Int64
-	intersects atomic.Int64
-	evictions  atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	intersects  atomic.Int64
+	entropyOnly atomic.Int64
+	evictions   atomic.Int64
 }
 
 // cacheShard is one slice of the cache: its part of the map plus the
@@ -165,20 +174,31 @@ func (c *Cache) Relation() *relation.Relation { return c.rel }
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:       int(c.hits.Load()),
-		Misses:     int(c.misses.Load()),
-		Intersects: int(c.intersects.Load()),
-		Entries:    int(c.entries.Load()),
-		BytesLive:  c.bytesLive.Load(),
-		Evictions:  int(c.evictions.Load()),
+		Hits:        int(c.hits.Load()),
+		Misses:      int(c.misses.Load()),
+		Intersects:  int(c.intersects.Load()),
+		EntropyOnly: int(c.entropyOnly.Load()),
+		Entries:     int(c.entries.Load()),
+		BytesLive:   c.bytesLive.Load(),
+		Evictions:   int(c.evictions.Load()),
 	}
 }
 
 // Get returns the stripped partition for attrs, computing and caching it
-// if needed. Concurrent Gets for the same fresh set compute it once; the
-// rest wait on its entry. A warm hit — single-attribute sets included —
-// counts toward Stats.Hits and refreshes the entry's clock bit.
+// if needed, on an arena from the package pool. Hot-path callers that own
+// an arena should use GetWith.
 func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
+	a := GetArena()
+	defer PutArena(a)
+	return c.GetWith(a, attrs)
+}
+
+// GetWith is Get on the caller's arena. Concurrent requests for the same
+// fresh set compute it once; the rest wait on its entry. A warm serve —
+// single-attribute sets and lost install races included — counts toward
+// Stats.Hits and refreshes the entry's clock bit; only requests that
+// actually computed the partition count as misses.
+func (c *Cache) GetWith(a *Arena, attrs bitset.AttrSet) *Partition {
 	sh := c.shard(attrs)
 	sh.mu.Lock()
 	e, ok := sh.parts[attrs]
@@ -189,16 +209,60 @@ func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
 		e.ref.Store(true)
 		return e.p
 	}
-	c.misses.Add(1)
-	return c.compute(attrs)
+	p, won := c.compute(a, attrs)
+	if won {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return p
+}
+
+// Entropy returns the entropy of the partition for attrs, on a pooled
+// arena; see EntropyWith.
+func (c *Cache) Entropy(attrs bitset.AttrSet) float64 {
+	a := GetArena()
+	defer PutArena(a)
+	return c.EntropyWith(a, attrs)
+}
+
+// EntropyWith returns the entropy of the partition for attrs — the value
+// every getEntropyR call bottoms out in — computing and caching the
+// partition if needed. When a memory budget is configured and the final
+// partition of the blockwise chain could never rest within it (its
+// SizeBytes alone exceeds MaxBytes, so publishing would immediately
+// revert), the entropy is computed as a streaming count over the arena
+// instead — bit-identical, no materialization, no eviction churn. Hit and
+// miss accounting matches GetWith.
+func (c *Cache) EntropyWith(a *Arena, attrs bitset.AttrSet) float64 {
+	sh := c.shard(attrs)
+	sh.mu.Lock()
+	e, ok := sh.parts[attrs]
+	sh.mu.Unlock()
+	if ok {
+		<-e.ready
+		c.hits.Add(1)
+		e.ref.Store(true)
+		return e.p.Entropy()
+	}
+	h, won := c.computeEntropy(a, attrs)
+	if won {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return h
 }
 
 // materialize returns the partition for attrs, building it via build at
 // most once per cached entry: the installer computes and publishes, every
 // concurrent duplicate waits on the entry's latch. Published entries are
 // subject to eviction; a later request for an evicted set simply lands
-// here again and recomputes.
-func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) *Partition {
+// here again and recomputes. The second return reports whether this call
+// installed and built the entry — false means it was served warm off an
+// entry some other goroutine published first (the stats treat that as a
+// hit: no compute happened here).
+func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) (*Partition, bool) {
 	sh := c.shard(attrs)
 	sh.mu.Lock()
 	e, ok := sh.parts[attrs]
@@ -208,12 +272,12 @@ func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) *Part
 		sh.mu.Unlock()
 		e.p = build()
 		c.publish(sh, e)
-		return e.p
+		return e.p, true
 	}
 	sh.mu.Unlock()
 	<-e.ready
 	e.ref.Store(true)
-	return e.p
+	return e.p, false
 }
 
 // publish completes an in-flight entry: account its bytes, release the
@@ -344,46 +408,115 @@ func (c *Cache) sweep(sh *cacheShard) {
 
 // compute assembles the partition for attrs blockwise: first within each
 // block (attribute by attribute, caching prefixes), then across blocks.
-func (c *Cache) compute(attrs bitset.AttrSet) *Partition {
+// The bool reports whether the final entry was built by this call (vs
+// served warm off a racing install).
+func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (*Partition, bool) {
 	if attrs.IsEmpty() {
 		return c.materialize(attrs, func() *Partition { return FromAttrs(c.rel, attrs) })
 	}
 	var acc *Partition
 	var accSet bitset.AttrSet
+	won := false
 	for _, b := range c.blocks {
 		piece := attrs.Intersect(b)
 		if piece.IsEmpty() {
 			continue
 		}
-		pp := c.blockPartition(piece)
+		pp, w := c.blockPartition(a, piece)
 		if acc == nil {
-			acc, accSet = pp, piece
+			acc, accSet, won = pp, piece, w
 			continue
 		}
 		left := acc
 		accSet = accSet.Union(piece)
-		acc = c.materialize(accSet, func() *Partition { return c.intersect(left, pp) })
+		acc, won = c.materialize(accSet, func() *Partition { return c.intersect(a, left, pp) })
 	}
-	return acc
+	return acc, won
+}
+
+// computeEntropy is compute for callers that only need the entropy. It
+// materializes every strict-subset intermediate of the blockwise chain as
+// usual (they are the reusable currency of the cache), then prices the
+// final partition with the arena's count pass: if a memory budget is set
+// and the partition could never rest within it, the entropy is taken
+// straight from the staged counts — a pure streaming evaluation, no
+// build, no publish, no eviction churn. Otherwise the staged counts are
+// finished into the cached partition, sharing the count pass.
+func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, bool) {
+	left, right, ok := c.finalOperands(a, attrs)
+	if !ok {
+		p, won := c.compute(a, attrs)
+		return p.Entropy(), won
+	}
+	c.intersects.Add(1)
+	a.stage(left, right)
+	if c.cfg.MaxBytes > 0 && a.stagedSizeBytes() > c.cfg.MaxBytes {
+		c.entropyOnly.Add(1)
+		return a.stagedEntropy(), true
+	}
+	p, won := c.materialize(attrs, a.finish)
+	// When the install race was lost, finish never ran; drop the staged
+	// operand references either way so the arena cannot pin partitions
+	// past this evaluation.
+	a.clearStaged()
+	return p.Entropy(), won
+}
+
+// finalOperands materializes the blockwise chain for attrs up to — but
+// not including — its final intersection, and returns that intersection's
+// two operands. ok is false when attrs is served without an intersection
+// of its own (empty or single-attribute sets).
+func (c *Cache) finalOperands(a *Arena, attrs bitset.AttrSet) (left, right *Partition, ok bool) {
+	if attrs.Len() <= 1 {
+		return nil, nil, false
+	}
+	var prefixSet, lastPiece bitset.AttrSet
+	pieces := 0
+	for _, b := range c.blocks {
+		piece := attrs.Intersect(b)
+		if piece.IsEmpty() {
+			continue
+		}
+		pieces++
+		prefixSet = prefixSet.Union(lastPiece)
+		lastPiece = piece
+	}
+	if pieces == 1 {
+		// Within one block the final step of blockPartition's peel is the
+		// intersection of the set minus its highest attribute with that
+		// attribute's pinned partition.
+		hi := lastPiece.Max()
+		rest := lastPiece.Remove(hi)
+		left, _ = c.blockPartition(a, rest)
+		right, _ = c.blockPartition(a, bitset.Single(hi))
+		return left, right, true
+	}
+	// Across blocks the final step intersects the accumulated prefix of
+	// all pieces but the last with the last piece's block partition; the
+	// prefix follows the identical chain compute walks, so every
+	// intermediate it materializes is one compute would have cached too.
+	left, _ = c.compute(a, prefixSet)
+	right, _ = c.blockPartition(a, lastPiece)
+	return left, right, true
 }
 
 // blockPartition computes the partition of a within-block attribute set by
 // peeling one attribute at a time, caching every intermediate subset. This
 // realizes the paper's per-block precomputation lazily: only subsets that
-// are actually requested get materialized.
-func (c *Cache) blockPartition(piece bitset.AttrSet) *Partition {
+// are actually requested get materialized. The bool mirrors materialize's.
+func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, bool) {
 	return c.materialize(piece, func() *Partition {
 		hi := piece.Max()
 		rest := piece.Remove(hi)
-		restPart := c.blockPartition(rest)
-		single := c.blockPartition(bitset.Single(hi)) // pre-seeded, returns immediately
-		return c.intersect(restPart, single)
+		restPart, _ := c.blockPartition(a, rest)
+		single, _ := c.blockPartition(a, bitset.Single(hi)) // pre-seeded, returns immediately
+		return c.intersect(a, restPart, single)
 	})
 }
 
-func (c *Cache) intersect(p, q *Partition) *Partition {
+func (c *Cache) intersect(a *Arena, p, q *Partition) *Partition {
 	c.intersects.Add(1)
-	return Intersect(p, q)
+	return a.Intersect(p, q)
 }
 
 // shardEntries returns the live entry count per shard — introspection for

@@ -9,12 +9,18 @@
 // partitions of α and β — grouping the row ids of each class of α by their
 // class in β — is the paper's join-group-by query, and singleton pruning is
 // what keeps the structures small as attribute sets grow.
+//
+// Partitions are stored flat: one contiguous row-id array plus an offsets
+// index, one allocation each instead of one per cluster, so intersection
+// scans are sequential and the memory accounting has no per-cluster slice
+// headers. The intersection itself runs on a reusable Arena (arena.go) —
+// dense count-then-fill grouping with no hash map and no per-group copy.
 package pli
 
 import (
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/relation"
@@ -22,73 +28,113 @@ import (
 
 // Partition is a stripped partition of the rows of a relation: the
 // equivalence classes (by equality on some attribute set) that contain at
-// least two rows. Classes and the ids inside each class are kept sorted so
-// partitions have a canonical form.
+// least two rows. The classes are stored flat — rows holds the row ids of
+// cluster i at rows[offsets[i]:offsets[i+1]], ids ascending within each
+// cluster — and Σ|c|·log2|c| is accumulated at construction time, so
+// Entropy is a constant-time read instead of a pass over the clusters.
 //
-// A Partition is immutable after construction and safe for concurrent
-// readers: the probe array is built lazily under a sync.Once, so
+// A Partition built by SingleAttribute, FromAttrs or an Arena is immutable
+// after construction and safe for concurrent readers: the lazy probe array
+// and the lazy Clusters views are published through atomic pointers, so
 // partitions handed out by a shared Cache may be intersected from many
-// goroutines at once.
+// goroutines at once. (Concurrent first builds may duplicate work; exactly
+// one result wins, and both are identical.)
 type Partition struct {
-	n         int       // number of rows in the underlying relation
-	clusters  [][]int32 // each of size >= 2
-	probeOnce sync.Once // guards the lazy probe build
-	probe     []int32   // row -> cluster index, -1 for stripped singletons
+	n       int     // number of rows in the underlying relation
+	rows    []int32 // concatenated cluster row ids (ascending within a cluster)
+	offsets []int32 // cluster i = rows[offsets[i]:offsets[i+1]]; nil when no clusters
+	hsum    float64 // Σ |c|·log2|c| over clusters in stored order (fused entropy)
+
+	probe    atomic.Pointer[[]int32]   // row -> cluster index, -1 for singletons
+	clusters atomic.Pointer[[][]int32] // lazy zero-copy views for Clusters()
 }
 
 // NumRows returns the number of rows of the underlying relation.
 func (p *Partition) NumRows() int { return p.n }
 
 // NumClusters returns the number of (non-singleton) equivalence classes.
-func (p *Partition) NumClusters() int { return len(p.clusters) }
+func (p *Partition) NumClusters() int {
+	if len(p.offsets) == 0 {
+		return 0
+	}
+	return len(p.offsets) - 1
+}
 
-// Clusters exposes the equivalence classes; callers must not modify them.
-func (p *Partition) Clusters() [][]int32 { return p.clusters }
+// Cluster returns the row ids of cluster i as a zero-copy view into the
+// partition's backing array; callers must not modify it.
+func (p *Partition) Cluster(i int) []int32 {
+	return p.rows[p.offsets[i]:p.offsets[i+1]]
+}
+
+// Clusters exposes the equivalence classes as zero-copy subslice views of
+// the flat backing array; callers must not modify them. The view headers
+// are built lazily, once, and shared by all callers.
+func (p *Partition) Clusters() [][]int32 {
+	if cs := p.clusters.Load(); cs != nil {
+		return *cs
+	}
+	nc := p.NumClusters()
+	views := make([][]int32, nc)
+	for i := 0; i < nc; i++ {
+		views[i] = p.rows[p.offsets[i]:p.offsets[i+1]]
+	}
+	p.clusters.CompareAndSwap(nil, &views)
+	return *p.clusters.Load()
+}
 
 // Size returns the total number of row ids stored — the ||π|| measure that
 // governs intersection cost. Singleton pruning makes this shrink as
 // attribute sets grow.
-func (p *Partition) Size() int {
-	total := 0
-	for _, c := range p.clusters {
-		total += len(c)
-	}
-	return total
-}
+func (p *Partition) Size() int { return len(p.rows) }
 
-// SizeBytes bounds the resident footprint of the partition in bytes:
-// the cluster slice headers plus the row ids they hold, the probe
-// array's full capacity (4 bytes per relation row — built lazily, but
-// most cached partitions are eventually used as the larger intersection
-// operand and get one, so a memory budget must assume it), and a fixed
-// allowance for the struct itself. It is the unit of account of the
-// cache's memory budget (Config.MaxBytes): deliberately conservative —
-// the budget must upper-bound real memory, not track it optimistically —
-// and deterministic (a function of row count and clusters only), so
-// budget arithmetic reproduces across runs.
+// SizeBytes bounds the resident footprint of the partition in bytes: the
+// flat row-id and offset arrays (4 bytes per entry), the probe array's
+// full capacity (4 bytes per relation row — built lazily, but most cached
+// partitions are eventually used as the larger intersection operand and
+// get one, so a memory budget must assume it), and a fixed allowance for
+// the struct itself. It is the unit of account of the cache's memory
+// budget (Config.MaxBytes): deliberately conservative — the budget must
+// upper-bound real memory, not track it optimistically — and deterministic
+// (a function of row count, cluster count and stored ids only), so budget
+// arithmetic reproduces across runs. The flat representation has no
+// per-cluster slice headers, so SizeBytes is tighter than it was for the
+// cluster-per-allocation layout: 4 bytes of offset per cluster instead of
+// 24 bytes of header.
 func (p *Partition) SizeBytes() int64 {
-	const structOverhead = 64 // Partition struct + map slot, amortized
-	const sliceHeader = 24    // one []int32 header per cluster
-	return structOverhead + int64(len(p.clusters))*sliceHeader + int64(p.Size())*4 + int64(p.n)*4
+	return sizeBytesFor(p.n, p.NumClusters(), len(p.rows))
 }
 
-// Probe returns (building lazily, exactly once) the row -> cluster-index
-// map, with -1 marking rows in stripped singleton classes. Safe to call
-// from concurrent readers of a shared partition.
+// sizeBytesFor is SizeBytes as a pure function of the shape, so the cache
+// can price a partition from an Arena's count pass before deciding whether
+// to materialize it at all.
+func sizeBytesFor(n, numClusters, numRows int) int64 {
+	const structOverhead = 64
+	offsets := int64(0)
+	if numClusters > 0 {
+		offsets = int64(numClusters+1) * 4
+	}
+	return structOverhead + offsets + int64(numRows)*4 + int64(n)*4
+}
+
+// Probe returns (building lazily) the row -> cluster-index map, with -1
+// marking rows in stripped singleton classes. Safe to call from concurrent
+// readers of a shared partition: the first build wins, duplicates are
+// discarded.
 func (p *Partition) Probe() []int32 {
-	p.probeOnce.Do(func() {
-		probe := make([]int32, p.n)
-		for i := range probe {
-			probe[i] = -1
+	if pr := p.probe.Load(); pr != nil {
+		return *pr
+	}
+	probe := make([]int32, p.n)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci := 0; ci < p.NumClusters(); ci++ {
+		for _, tid := range p.Cluster(ci) {
+			probe[tid] = int32(ci)
 		}
-		for ci, c := range p.clusters {
-			for _, tid := range c {
-				probe[tid] = int32(ci)
-			}
-		}
-		p.probe = probe
-	})
-	return p.probe
+	}
+	p.probe.CompareAndSwap(nil, &probe)
+	return *p.probe.Load()
 }
 
 // Entropy returns the empirical entropy (in bits) of the attribute set this
@@ -97,20 +143,17 @@ func (p *Partition) Probe() []int32 {
 //	H = log2 N − (1/N) Σ_classes |c|·log2|c|
 //
 // Stripped singletons contribute 0 to the sum, which is why they can be
-// pruned.
+// pruned. The sum is fused into construction (every builder accumulates it
+// while clusters close), so this is a constant-time read.
 func (p *Partition) Entropy() float64 {
 	if p.n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, c := range p.clusters {
-		k := float64(len(c))
-		sum += k * math.Log2(k)
-	}
-	return math.Log2(float64(p.n)) - sum/float64(p.n)
+	return math.Log2(float64(p.n)) - p.hsum/float64(p.n)
 }
 
-// SingleAttribute builds the stripped partition of column j of r.
+// SingleAttribute builds the stripped partition of column j of r. Clusters
+// are stored in value-code order, ids ascending within each cluster.
 func SingleAttribute(r *relation.Relation, j int) *Partition {
 	col := r.Column(j)
 	dom := r.DomainSize(j)
@@ -118,36 +161,68 @@ func SingleAttribute(r *relation.Relation, j int) *Partition {
 	for _, c := range col {
 		counts[c]++
 	}
-	// Assign cluster slots only to codes with count >= 2.
+	// Assign cluster slots only to codes with count >= 2 and lay out the
+	// flat arrays in one pass of prefix sums.
 	slot := make([]int32, dom)
 	nc := 0
+	total := 0
 	for code, cnt := range counts {
 		if cnt >= 2 {
 			slot[code] = int32(nc)
 			nc++
+			total += int(cnt)
 		} else {
 			slot[code] = -1
 		}
 	}
-	clusters := make([][]int32, nc)
-	for code, cnt := range counts {
+	p := &Partition{n: len(col)}
+	if nc == 0 {
+		return p
+	}
+	p.rows = make([]int32, total)
+	p.offsets = make([]int32, nc+1)
+	cur := make([]int32, nc)
+	off := int32(0)
+	ci := 0
+	for _, cnt := range counts {
 		if cnt >= 2 {
-			clusters[slot[code]] = make([]int32, 0, cnt)
+			p.offsets[ci] = off
+			cur[ci] = off
+			off += cnt
+			ci++
 		}
 	}
+	p.offsets[nc] = off
 	for i, c := range col {
 		if s := slot[c]; s >= 0 {
-			clusters[s] = append(clusters[s], int32(i))
+			p.rows[cur[s]] = int32(i)
+			cur[s]++
 		}
 	}
-	return &Partition{n: len(col), clusters: clusters}
+	for i := 0; i < nc; i++ {
+		k := float64(p.offsets[i+1] - p.offsets[i])
+		p.hsum += k * math.Log2(k)
+	}
+	return p
 }
 
 // Intersect returns the stripped partition for the union of the attribute
 // sets represented by p and q: rows are equivalent iff they are equivalent
 // under both. This is the paper's CNT/TID join-group-by (Sec. 6.3) realized
-// as a hash grouping.
+// as a dense count-then-fill grouping on a pooled Arena; callers on a hot
+// path should hold their own Arena and call its Intersect directly.
 func Intersect(p, q *Partition) *Partition {
+	a := GetArena()
+	defer PutArena(a)
+	return a.Intersect(p, q)
+}
+
+// IntersectMap is the historical hash-map grouping implementation: one
+// map[int32][]int32 per call, one heap copy per surviving group. It is
+// kept as the reference engine — the property tests check the Arena path
+// against it, and the intersection benchmark (engine: map vs arena)
+// measures what the dense scratch rewrite buys.
+func IntersectMap(p, q *Partition) *Partition {
 	if p.n != q.n {
 		panic("pli: intersecting partitions over different relations")
 	}
@@ -156,27 +231,27 @@ func Intersect(p, q *Partition) *Partition {
 		p, q = q, p
 	}
 	probe := q.Probe()
-	out := &Partition{n: p.n}
+	var clusters [][]int32
 	groups := make(map[int32][]int32)
-	for _, cluster := range p.clusters {
-		for _, tid := range cluster {
-			ci := probe[tid]
-			if ci < 0 {
+	for ci := 0; ci < p.NumClusters(); ci++ {
+		for _, tid := range p.Cluster(ci) {
+			qi := probe[tid]
+			if qi < 0 {
 				continue // singleton in q => singleton in the intersection
 			}
-			groups[ci] = append(groups[ci], tid)
+			groups[qi] = append(groups[qi], tid)
 		}
-		for ci, g := range groups {
+		for qi, g := range groups {
 			if len(g) >= 2 {
 				cp := make([]int32, len(g))
 				copy(cp, g)
-				out.clusters = append(out.clusters, cp)
+				clusters = append(clusters, cp)
 			}
-			delete(groups, ci)
+			delete(groups, qi)
 		}
 	}
-	sortClusters(out.clusters)
-	return out
+	sortClusters(clusters)
+	return fromClusters(p.n, clusters)
 }
 
 // FromAttrs computes the stripped partition of the attribute set attrs of r
@@ -194,7 +269,7 @@ func FromAttrs(r *relation.Relation, attrs bitset.AttrSet) *Partition {
 		for i := range all {
 			all[i] = int32(i)
 		}
-		return &Partition{n: n, clusters: [][]int32{all}}
+		return fromClusters(n, [][]int32{all})
 	}
 	n := r.NumRows()
 	groups := make(map[string][]int32, n)
@@ -209,14 +284,37 @@ func FromAttrs(r *relation.Relation, attrs bitset.AttrSet) *Partition {
 		k := string(buf)
 		groups[k] = append(groups[k], int32(i))
 	}
-	out := &Partition{n: n}
+	var clusters [][]int32
 	for _, g := range groups {
 		if len(g) >= 2 {
-			out.clusters = append(out.clusters, g)
+			clusters = append(clusters, g)
 		}
 	}
-	sortClusters(out.clusters)
-	return out
+	sortClusters(clusters)
+	return fromClusters(n, clusters)
+}
+
+// fromClusters flattens pre-ordered clusters into a Partition, fusing the
+// entropy sum in the given cluster order.
+func fromClusters(n int, clusters [][]int32) *Partition {
+	p := &Partition{n: n}
+	if len(clusters) == 0 {
+		return p
+	}
+	total := 0
+	for _, c := range clusters {
+		total += len(c)
+	}
+	p.rows = make([]int32, 0, total)
+	p.offsets = make([]int32, len(clusters)+1)
+	for i, c := range clusters {
+		p.offsets[i] = int32(len(p.rows))
+		p.rows = append(p.rows, c...)
+		k := float64(len(c))
+		p.hsum += k * math.Log2(k)
+	}
+	p.offsets[len(clusters)] = int32(len(p.rows))
+	return p
 }
 
 // sortClusters canonicalizes cluster order (by first row id) so that
@@ -228,17 +326,17 @@ func sortClusters(clusters [][]int32) {
 // Equal reports whether two partitions describe the same stripped
 // equivalence classes.
 func Equal(p, q *Partition) bool {
-	if p.n != q.n || len(p.clusters) != len(q.clusters) {
+	if p.n != q.n || p.NumClusters() != q.NumClusters() || len(p.rows) != len(q.rows) {
 		return false
 	}
-	for i := range p.clusters {
-		if len(p.clusters[i]) != len(q.clusters[i]) {
+	for i := range p.offsets {
+		if p.offsets[i] != q.offsets[i] {
 			return false
 		}
-		for k := range p.clusters[i] {
-			if p.clusters[i][k] != q.clusters[i][k] {
-				return false
-			}
+	}
+	for i := range p.rows {
+		if p.rows[i] != q.rows[i] {
+			return false
 		}
 	}
 	return true

@@ -5,7 +5,7 @@
 //
 //	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
 //	       [-timeout 30s] [-max-schemes 50] [-workers 0] [-cache-bytes 0]
-//	       [-fds] [-v]
+//	       [-fds] [-v] [-trace]
 //
 // Modes:
 //
@@ -19,6 +19,14 @@
 // With -v, live progress (phase, pairs done/total, MVDs found) streams to
 // stderr as mining runs, and in schemes mode each scheme is printed the
 // moment the enumerator synthesizes it, ahead of the final ranked table.
+//
+// With -trace, the stage-level mine trace prints to stderr after mining:
+// one line per phase (wall time, entropy computes vs memo hits, PLI and
+// intersection work) and one per stage (separator mining, full-MVD
+// expansion, graph build, schema synthesis) with CPU time, calls, items,
+// J-evaluations and candidates. Stage and entropy-level trace counts
+// are deterministic across -workers settings; only the durations (and
+// PLI-layer scheduling detail such as the hit/miss split) change.
 package main
 
 import (
@@ -53,6 +61,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel mining fan-out (0 = GOMAXPROCS, 1 = serial)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
 		verbose    = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
+		trace      = flag.Bool("trace", false, "print the stage-level mine trace (per-phase wall time, entropy/PLI work, per-stage breakdown) to stderr after mining")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -204,6 +213,11 @@ func main() {
 		st := sess.Stats()
 		fmt.Fprintf(os.Stderr, "oracle: %d H calls (%d cached); PLI: %d entries, %d bytes live, %d evictions\n",
 			st.HCalls, st.HCached, st.PLIStats.Entries, st.PLIStats.BytesLive, st.PLIStats.Evictions)
+	}
+	if *trace {
+		if t := sess.Trace(); t != nil {
+			fmt.Fprint(os.Stderr, t.String())
+		}
 	}
 
 	// Mining is over: restore default signal handling so Ctrl-C now

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	maimond [-addr :8080] [-workers N] [-mine-workers 1] [-queue 256]
-//	        [-job-timeout 0] [-cache-bytes 0] [-result-cache 256]
+//	        [-job-timeout 0] [-cache-bytes 0] [-result-cache 0]
+//	        [-log-level info] [-log-json] [-debug-addr ""]
 //	        [-load name=path.csv ...] [-nursery]
 //
 // API (versioned under /v1; the unversioned paths remain as aliases —
@@ -22,14 +23,24 @@
 //	GET    /v1/jobs/{id}/result  fetch schemes / MVDs / metrics when done
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/healthz           liveness, worker and cache counters
+//	GET    /v1/readyz            readiness (503 once shutting down)
+//	GET    /metrics              Prometheus text exposition
+//
+// Observability: every job-lifecycle event is logged through log/slog
+// with the job and dataset ids attached (-log-level trims it, -log-json
+// switches to JSON lines for log shippers); /metrics exposes the
+// registry of counters, gauges and latency histograms the service and
+// its mining sessions maintain; -debug-addr starts a second, private
+// listener serving net/http/pprof — keep it off public interfaces.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +49,7 @@ import (
 
 	maimon "repro"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/service"
 )
@@ -47,6 +59,35 @@ type loadFlags []string
 
 func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
 func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+// newLogger builds the process logger from the flags: text to stderr by
+// default, JSON lines with -log-json, threshold from -log-level.
+func newLogger(level string, json bool) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
+// debugServer serves net/http/pprof on its own mux — never the public
+// one, so profiling endpoints can stay on a loopback-only address.
+func debugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+}
 
 func main() {
 	var loads loadFlags
@@ -58,11 +99,25 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
 		maxJobs     = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "per-dataset PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
-		resultCache = flag.Int("result-cache", 0, "completed job results retained, LRU past the cap (0 = 256)")
+		resultCache = flag.Int("result-cache", 0, "completed job results retained, LRU past the cap (0 = default 256, -1 = disable result caching)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = disabled; bind to loopback)")
 		nursery     = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
 	)
 	flag.Var(&loads, "load", "preload a dataset: name=path.csv (repeatable)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maimond: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	tel := service.NewTelemetry(obs.NewRegistry(), logger)
 
 	var sessOpts []maimon.Option
 	if *cacheBytes > 0 {
@@ -72,24 +127,24 @@ func main() {
 	if *nursery {
 		info, err := reg.Add("nursery", datagen.Nursery())
 		if err != nil {
-			log.Fatalf("maimond: %v", err)
+			fatal("loading nursery dataset", "error", err)
 		}
-		log.Printf("loaded dataset %q: %d rows × %d cols", info.Name, info.Rows, info.Cols)
+		logger.Info("dataset loaded", "dataset", info.Name, "rows", info.Rows, "cols", info.Cols)
 	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("maimond: -load wants name=path.csv, got %q", spec)
+			fatal("-load wants name=path.csv", "got", spec)
 		}
 		r, err := relation.ReadCSVFile(path, true)
 		if err != nil {
-			log.Fatalf("maimond: loading %s: %v", path, err)
+			fatal("loading dataset file", "path", path, "error", err)
 		}
 		info, err := reg.Add(name, r)
 		if err != nil {
-			log.Fatalf("maimond: %v", err)
+			fatal("registering dataset", "dataset", name, "error", err)
 		}
-		log.Printf("loaded dataset %q: %d rows × %d cols (%s)", info.Name, info.Rows, info.Cols, path)
+		logger.Info("dataset loaded", "dataset", info.Name, "rows", info.Rows, "cols", info.Cols, "path", path)
 	}
 
 	mgr := service.NewManager(reg, service.Config{
@@ -99,6 +154,7 @@ func main() {
 		DefaultTimeout:     *jobTimeout,
 		MaxJobs:            *maxJobs,
 		ResultCacheEntries: *resultCache,
+		Telemetry:          tel,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -111,18 +167,28 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("maimond listening on %s (%d workers)", *addr, mgr.Workers())
+	if *debugAddr != "" {
+		dbg := debugServer(*debugAddr)
+		go func() {
+			logger.Info("pprof debug server listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof debug server", "error", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+	logger.Info("maimond listening", "addr", *addr, "workers", mgr.Workers())
 
 	select {
 	case err := <-errc:
-		log.Fatalf("maimond: %v", err)
+		fatal("serving", "error", err)
 	case <-ctx.Done():
 	}
-	log.Print("maimond: shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "maimond: shutdown: %v\n", err)
+		logger.Error("shutdown", "error", err)
 	}
 	mgr.Close() // cancels queued and running jobs, drains the pool
 }

@@ -1,0 +1,99 @@
+// Command promcheck validates a Prometheus text-exposition scrape — the
+// CI gate behind maimond's /metrics endpoint. It parses the input with
+// the strict obs parser (metric/label charset, HELP/TYPE pairing and
+// order, float values, non-negative counters, monotone cumulative
+// histogram buckets terminated by +Inf) and then applies the checks the
+// flags request.
+//
+// Usage:
+//
+//	promcheck [-min-series N] [-require name,name,...] [file]
+//
+// With no file argument the scrape is read from stdin, so it composes
+// with curl:
+//
+//	curl -fsS localhost:8080/metrics | promcheck -min-series 20 -require maimond_jobs_submitted_total
+//
+// Exit status 0 means the exposition is well-formed and every check
+// passed; 1 means malformed input or a failed check (details on stderr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		minSeries = flag.Int("min-series", 0, "fail unless the scrape has at least N distinct series (name + label set)")
+		require   = flag.String("require", "", "comma-separated metric names that must be present as samples")
+		list      = flag.Bool("list", false, "print every family with its type and series count")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	src := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in, src = f, flag.Arg(0)
+	}
+
+	e, err := obs.ParseExposition(in)
+	if err != nil {
+		fail("%s: malformed exposition: %v", src, err)
+	}
+
+	bad := false
+	if n := e.SeriesCount(); *minSeries > 0 && n < *minSeries {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %d series, want at least %d\n", src, n, *minSeries)
+		bad = true
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !e.Has(name) {
+				fmt.Fprintf(os.Stderr, "promcheck: %s: required metric %q has no samples\n", src, name)
+				bad = true
+			}
+		}
+	}
+	if *list {
+		for _, fam := range sortedFamilies(e) {
+			fmt.Printf("%-50s %-10s %d series\n", fam.Name, fam.Type, len(fam.Samples))
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: ok (%d families, %d series)\n", src, len(e.Families), e.SeriesCount())
+}
+
+func sortedFamilies(e *obs.Exposition) []*obs.ExpoFamily {
+	out := make([]*obs.ExpoFamily, 0, len(e.Families))
+	for _, f := range e.Families {
+		out = append(out, f)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: tiny n, no extra imports
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/info"
@@ -33,10 +34,16 @@ func (s *Scheme) M() int { return s.Schema.M() }
 // consistent) are skipped.
 func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 	m.beginPhase()
+	defer m.tracePhase("schemes")()
 	ms := append([]mvd.MVD(nil), mvds...)
 	mvd.Sort(ms)
 	g := mis.NewGraph(len(ms))
-	if !m.buildIncompatibilityGraph(g, ms) {
+	graphT0 := time.Now()
+	graphStats := m.searchStats
+	ok, edges := m.buildIncompatibilityGraph(g, ms)
+	m.recordStage(&m.stages.graph, graphT0, graphStats, 1, int64(len(ms)))
+	m.stages.graph.candidates += edges // incompatibility edges found (Eq. 15)
+	if !ok {
 		return // cancelled or past the deadline mid-build
 	}
 	enumerate := g.EnumerateBK
@@ -47,6 +54,12 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 	streamed := 0
 	seen := make(map[string]bool)
 	enumerate(func(set []int) bool {
+		synthT0 := time.Now()
+		synthStats := m.searchStats
+		emitted := int64(0)
+		defer func() {
+			m.recordStage(&m.stages.synth, synthT0, synthStats, 1, emitted)
+		}()
 		if m.stopped() {
 			return false
 		}
@@ -58,6 +71,7 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 		if err != nil {
 			return true
 		}
+		m.stages.synth.candidates++ // compatible sets that synthesized a schema
 		fp := sch.Fingerprint()
 		if seen[fp] {
 			return true
@@ -74,6 +88,7 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 			Support: q,
 		}
 		streamed++
+		emitted = 1
 		m.emitProgress(Progress{
 			Phase:      "schemes",
 			MVDs:       len(ms),
@@ -92,21 +107,24 @@ func (m *Miner) EnumerateSchemes(mvds []mvd.MVD, emit func(*Scheme) bool) {
 // computed by a pool of goroutines claiming row stripes off an atomic
 // cursor (Incompatible is pure, so this needs no oracle sharing), then
 // folded into g serially — the edge set, and thus every enumerated
-// scheme, is identical to a serial build.
-func (m *Miner) buildIncompatibilityGraph(g *mis.Graph, ms []mvd.MVD) bool {
+// scheme, is identical to a serial build. It reports whether the build
+// completed and how many incompatibility edges it added.
+func (m *Miner) buildIncompatibilityGraph(g *mis.Graph, ms []mvd.MVD) (bool, int64) {
 	workers := m.opts.Workers
+	edges := int64(0)
 	if workers <= 1 || len(ms) < 64 {
 		for i := range ms {
 			if m.stopped() {
-				return false
+				return false, edges
 			}
 			for j := i + 1; j < len(ms); j++ {
 				if Incompatible(ms[i], ms[j]) {
 					g.AddEdge(i, j)
+					edges++
 				}
 			}
 		}
-		return true
+		return true, edges
 	}
 	rows := make([][]int32, len(ms))
 	var next atomic.Int64
@@ -140,14 +158,15 @@ func (m *Miner) buildIncompatibilityGraph(g *mis.Graph, ms []mvd.MVD) bool {
 	}
 	wg.Wait()
 	if m.stopped() {
-		return false
+		return false, edges
 	}
 	for i, row := range rows {
 		for _, j := range row {
 			g.AddEdge(i, int(j))
+			edges++
 		}
 	}
-	return true
+	return true, edges
 }
 
 // MineSchemes runs both phases end to end and collects up to maxSchemes

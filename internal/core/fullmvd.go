@@ -8,6 +8,7 @@ import (
 	"repro/internal/entropy"
 	"repro/internal/info"
 	"repro/internal/mvd"
+	"repro/internal/obs"
 )
 
 // Miner binds an entropy oracle to mining options. All phase-1 and phase-2
@@ -31,6 +32,13 @@ type Miner struct {
 	searchStats SearchStats
 	curVisited  int
 	minsepTrace MinSepTrace
+
+	// trace is the stage-level mine trace (Options.Trace when set, owned
+	// otherwise); stages accumulates the in-flight phase's stage counters.
+	// Workers fork with zero stages, merged back under the parallel
+	// driver's stats lock; only the parent miner appends phases.
+	trace  *obs.MineTrace
+	stages stageAccum
 }
 
 // SearchStats counts getFullMVDs work across a mining run.
@@ -46,7 +54,13 @@ type SearchStats struct {
 
 // NewMiner builds a miner over the oracle with the given options.
 func NewMiner(o *entropy.Oracle, opts Options) *Miner {
-	return &Miner{oracle: o, src: o, opts: opts, ctx: context.Background()}
+	tr := opts.Trace
+	if tr == nil {
+		tr = &obs.MineTrace{}
+	} else {
+		tr.Reset()
+	}
+	return &Miner{oracle: o, src: o, opts: opts, ctx: context.Background(), trace: tr}
 }
 
 // Oracle exposes the underlying entropy oracle (stats reporting).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/mvd"
@@ -59,6 +60,7 @@ func (r *MVDResult) NumMinSeps() int {
 // pair order; the result is identical to a serial run.
 func (m *Miner) MineMVDs() *MVDResult {
 	m.beginPhase()
+	defer m.tracePhase("mvds")()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
 	seen := make(map[string]bool)
 	pairs := m.opts.Pairs
@@ -82,11 +84,15 @@ func (m *Miner) MineMVDs() *MVDResult {
 		if len(seps) > 0 {
 			res.MinSeps[Pair{a, b}] = seps
 		}
+		expT0 := time.Now()
+		expStats := m.searchStats
+		found := int64(0) // full MVDs returned, pre-dedup (fan-out invariant)
 		for _, sep := range seps {
 			if m.stopped() {
 				break
 			}
 			for _, phi := range m.GetFullMVDs(sep, a, b, m.opts.MaxFullMVDsPerSeparator) {
+				found++
 				fp := phi.Fingerprint()
 				if !seen[fp] {
 					seen[fp] = true
@@ -94,6 +100,8 @@ func (m *Miner) MineMVDs() *MVDResult {
 				}
 			}
 		}
+		m.recordStage(&m.stages.fullmvd, expT0, expStats,
+			int64(m.searchStats.Searches-expStats.Searches), found)
 		if m.opts.Progress != nil { // NumMinSeps walks the map: build events only when observed
 			m.emitProgress(Progress{
 				Phase:      "mvds",
@@ -116,6 +124,7 @@ func (m *Miner) MineMVDs() *MVDResult {
 // MineMVDs it fans the pairs out when Options.Workers > 1.
 func (m *Miner) MineMinSepsAll() *MVDResult {
 	m.beginPhase()
+	defer m.tracePhase("minseps")()
 	res := &MVDResult{MinSeps: make(map[Pair][]bitset.AttrSet)}
 	pairs := allPairs(m.oracle.NumAttrs())
 	m.emitProgress(Progress{Phase: "minseps", PairsTotal: len(pairs)})

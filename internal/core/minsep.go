@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/bitset"
 	"repro/internal/info"
 	"repro/internal/transversal"
@@ -45,6 +47,11 @@ func (m *Miner) MineMinSeps(a, b int) []bitset.AttrSet {
 	n := m.oracle.NumAttrs()
 	universe := bitset.Full(n).Remove(a).Remove(b)
 	m.minsepTrace = MinSepTrace{}
+	t0 := time.Now()
+	stats0 := m.searchStats
+	defer func() {
+		m.recordStage(&m.stages.minsep, t0, stats0, 1, int64(m.minsepTrace.Separators))
+	}()
 
 	// Line 3: the largest candidate key is Ω \ {a,b}; if even it does not
 	// separate, no separator exists (Prop. 5.1 Eq. 8).

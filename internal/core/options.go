@@ -13,6 +13,8 @@ package core
 import (
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options configures a mining run.
@@ -60,6 +62,17 @@ type Options struct {
 	// the Johnson–Papadimitriou–Yannakakis queue scheme the paper cites
 	// (Thm. 7.3; polynomial delay, higher memory).
 	UseJPYEnumerator bool
+
+	// Trace, when non-nil, receives the stage-level mine trace: NewMiner
+	// resets it and every top-level phase (MineMVDs, MineMinSepsAll,
+	// EnumerateSchemes) appends one obs.PhaseTrace on completion, carrying
+	// the phase's wall time, the entropy/PLI counter deltas, and the
+	// per-stage breakdown. The miner always keeps a trace internally
+	// (Miner.Trace); setting this field shares it with the caller. Stage
+	// and entropy-level trace counts are deterministic across Workers
+	// settings; only durations and PLI-layer scheduling detail differ —
+	// see obs.MineTrace.CountsOnly.
+	Trace *obs.MineTrace
 
 	// Workers is the fan-out of the parallel mining pipeline. MineMVDs
 	// and MineMinSepsAll distribute attribute pairs across a bounded pool

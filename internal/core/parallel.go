@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/mvd"
@@ -143,6 +144,7 @@ func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, ph
 			defer func() {
 				statsMu.Lock()
 				m.searchStats.add(w.searchStats)
+				m.stages.add(&w.stages)
 				statsMu.Unlock()
 			}()
 			for {
@@ -159,18 +161,24 @@ func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, ph
 				out.seps = w.MineMinSeps(a, b)
 				out.trace = w.minsepTrace
 				if expand {
+					expT0 := time.Now()
+					expStats := w.searchStats
+					found := int64(0) // pre-dedup returns, matching the serial loop's count
 					localSeen := make(map[string]bool)
 					for _, sep := range out.seps {
 						if w.stopped() {
 							break
 						}
 						for _, phi := range w.GetFullMVDs(sep, a, b, w.opts.MaxFullMVDsPerSeparator) {
+							found++
 							if fp := phi.Fingerprint(); !localSeen[fp] {
 								localSeen[fp] = true
 								out.mvds = append(out.mvds, phi)
 							}
 						}
 					}
+					w.recordStage(&w.stages.fullmvd, expT0, expStats,
+						int64(w.searchStats.Searches-expStats.Searches), found)
 				}
 				agg.pairDone(out, w.searchStats.Visited-before)
 			}

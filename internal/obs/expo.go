@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// one # HELP and one # TYPE line followed by its samples; histograms
+// expand into cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		// Reading children without the registry lock is safe: families
+		// only grow, and instrument reads are atomic snapshots.
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		for _, s := range f.order {
+			c := f.children[s]
+			switch {
+			case c.counter != nil:
+				writeSample(bw, f.name, c.labels, nil, c.counter.Value())
+			case c.gauge != nil:
+				writeSample(bw, f.name, c.labels, nil, c.gauge.Value())
+			case c.fn != nil:
+				writeSample(bw, f.name, c.labels, nil, c.fn())
+			case c.hist != nil:
+				writeHistogram(bw, f.name, c.labels, c.hist)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders the cumulative bucket series, then _sum and
+// _count.
+func writeHistogram(bw *bufio.Writer, name string, labels []Label, h *Histogram) {
+	cum := int64(0)
+	le := Label{Key: "le"}
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le.Value = formatFloat(b)
+		writeSample(bw, name+"_bucket", labels, &le, float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le.Value = "+Inf"
+	writeSample(bw, name+"_bucket", labels, &le, float64(cum))
+	writeSample(bw, name+"_sum", labels, nil, h.Sum())
+	writeSample(bw, name+"_count", labels, nil, float64(cum))
+}
+
+// writeSample renders one `name{labels} value` line; extra, when non-nil,
+// is appended after the registered labels (the histogram "le" label).
+func writeSample(bw *bufio.Writer, name string, labels []Label, extra *Label, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, l)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, *extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func writeLabel(bw *bufio.Writer, l Label) {
+	bw.WriteString(l.Key)
+	bw.WriteString(`="`)
+	bw.WriteString(escapeLabel(l.Value))
+	bw.WriteByte('"')
+}
+
+// formatFloat renders a sample value: integral values print without an
+// exponent or decimal point (the common case for counters), the rest in
+// Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -12,13 +12,14 @@ import (
 // Stats counts the work a Cache has done; the experiments report these to
 // show the effect of the Sec. 6.3 design.
 type Stats struct {
-	Hits        int   // cache hits on already-materialized partitions (single-attribute included)
-	Misses      int   // partitions that had to be computed
-	Intersects  int   // pairwise partition intersections performed
-	EntropyOnly int   // intersections answered as streaming counts, never materialized (memory budget)
-	Entries     int   // partitions currently cached (live, post-eviction, all shards)
-	BytesLive   int64 // bytes retained by evictable (multi-attribute) partitions
-	Evictions   int   // partitions evicted to stay within the memory budget
+	Hits         int   // cache hits on already-materialized partitions (single-attribute included)
+	Misses       int   // partitions that had to be computed
+	Intersects   int   // pairwise partition intersections performed
+	EntropyOnly  int   // intersections answered as streaming counts, never materialized (memory budget)
+	Entries      int   // partitions currently cached (live, post-eviction, all shards)
+	BytesLive    int64 // bytes retained by evictable (multi-attribute) partitions
+	Evictions    int   // partitions evicted to stay within the memory budget
+	BytesTouched int64 // partition bytes scanned by the intersection engine (row ids read + probe lookups)
 }
 
 // Config tunes a Cache.
@@ -90,11 +91,12 @@ type Cache struct {
 	entries   atomic.Int64
 	bytesLive atomic.Int64
 
-	hits        atomic.Int64
-	misses      atomic.Int64
-	intersects  atomic.Int64
-	entropyOnly atomic.Int64
-	evictions   atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	intersects   atomic.Int64
+	entropyOnly  atomic.Int64
+	evictions    atomic.Int64
+	bytesTouched atomic.Int64
 }
 
 // cacheShard is one slice of the cache: its part of the map plus the
@@ -174,13 +176,14 @@ func (c *Cache) Relation() *relation.Relation { return c.rel }
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:        int(c.hits.Load()),
-		Misses:      int(c.misses.Load()),
-		Intersects:  int(c.intersects.Load()),
-		EntropyOnly: int(c.entropyOnly.Load()),
-		Entries:     int(c.entries.Load()),
-		BytesLive:   c.bytesLive.Load(),
-		Evictions:   int(c.evictions.Load()),
+		Hits:         int(c.hits.Load()),
+		Misses:       int(c.misses.Load()),
+		Intersects:   int(c.intersects.Load()),
+		EntropyOnly:  int(c.entropyOnly.Load()),
+		Entries:      int(c.entries.Load()),
+		BytesLive:    c.bytesLive.Load(),
+		Evictions:    int(c.evictions.Load()),
+		BytesTouched: c.bytesTouched.Load(),
 	}
 }
 
@@ -448,7 +451,7 @@ func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, bool) {
 		p, won := c.compute(a, attrs)
 		return p.Entropy(), won
 	}
-	c.intersects.Add(1)
+	c.countIntersect(left, right)
 	a.stage(left, right)
 	if c.cfg.MaxBytes > 0 && a.stagedSizeBytes() > c.cfg.MaxBytes {
 		c.entropyOnly.Add(1)
@@ -515,8 +518,23 @@ func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, bool
 }
 
 func (c *Cache) intersect(a *Arena, p, q *Partition) *Partition {
-	c.intersects.Add(1)
+	c.countIntersect(p, q)
 	return a.Intersect(p, q)
+}
+
+// countIntersect accounts one intersection: the call itself plus the
+// partition bytes its count pass scans — the engine iterates the smaller
+// operand's row ids (4 bytes each) and probes the other side's cluster
+// index per row (4 more), so 8 bytes per scanned row. Two lock-free
+// atomic adds; nothing here allocates, keeping the instrumented hot path
+// inside the 0 B/op gates.
+func (c *Cache) countIntersect(p, q *Partition) {
+	n := p.Size()
+	if qs := q.Size(); qs < n {
+		n = qs
+	}
+	c.intersects.Add(1)
+	c.bytesTouched.Add(8 * int64(n))
 }
 
 // shardEntries returns the live entry count per shard — introspection for

@@ -68,9 +68,15 @@ type resultCache struct {
 	hits, misses, evictions int64
 }
 
+// newResultCache builds the cache: capEntries 0 means
+// DefaultResultCacheEntries, negative disables caching entirely (every
+// get misses, every put is dropped — cap 0 internally).
 func newResultCache(capEntries int) *resultCache {
-	if capEntries <= 0 {
+	switch {
+	case capEntries == 0:
 		capEntries = DefaultResultCacheEntries
+	case capEntries < 0:
+		capEntries = 0 // disabled
 	}
 	return &resultCache{
 		cap:     capEntries,
@@ -94,8 +100,8 @@ func (c *resultCache) get(k cacheKey) *JobResult {
 }
 
 func (c *resultCache) put(k cacheKey, r *JobResult) {
-	if r == nil || r.Interrupted {
-		return // partial results are not reusable
+	if r == nil || r.Interrupted || c.cap == 0 {
+		return // partial results are not reusable; cap 0 = cache disabled
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -118,6 +118,11 @@ type MemoryStatus struct {
 	Evictions  int   `json:"evictions"`
 	PLIEntries int   `json:"pli_entries"`
 	HCached    int   `json:"h_cached"`
+	// EntropyOnly counts intersections the engine answered as streaming
+	// counts without materializing the partition — the budget-pressure
+	// path: a partition too large for the budget never enters the cache,
+	// its entropy is computed on the fly instead.
+	EntropyOnly int `json:"entropy_only"`
 }
 
 // JobStatus is the wire representation of a job (GET /jobs/{id}).
@@ -303,10 +308,11 @@ func memorySnapshot(sess *maimon.Session) *MemoryStatus {
 	}
 	st := sess.Stats()
 	return &MemoryStatus{
-		BytesLive:  st.PLIStats.BytesLive,
-		Evictions:  st.PLIStats.Evictions,
-		PLIEntries: st.PLIStats.Entries,
-		HCached:    st.HCached,
+		BytesLive:   st.PLIStats.BytesLive,
+		Evictions:   st.PLIStats.Evictions,
+		PLIEntries:  st.PLIStats.Entries,
+		HCached:     st.HCached,
+		EntropyOnly: st.PLIStats.EntropyOnly,
 	}
 }
 

@@ -45,9 +45,14 @@ type Config struct {
 	// evicted.
 	MaxJobs int
 	// ResultCacheEntries caps how many completed job results the result
-	// cache retains (LRU past the cap); ≤ 0 means
-	// DefaultResultCacheEntries.
+	// cache retains (LRU past the cap). 0 means
+	// DefaultResultCacheEntries; a negative value disables result caching
+	// entirely (every submit mines, nothing is retained).
 	ResultCacheEntries int
+	// Telemetry, when non-nil, receives the manager's metrics and
+	// structured logs (job lifecycle, queue depth, result-cache and
+	// session counters). nil disables all instrumentation at zero cost.
+	Telemetry *Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +85,7 @@ type Manager struct {
 	reg   *Registry
 	cache *resultCache
 	cfg   Config
+	tel   *Telemetry // nil-safe: all hooks no-op when absent
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -102,11 +108,13 @@ func NewManager(reg *Registry, cfg Config) *Manager {
 		reg:        reg,
 		cache:      newResultCache(cfg.ResultCacheEntries),
 		cfg:        cfg,
+		tel:        cfg.Telemetry,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       make(map[string]*Job),
 	}
+	m.tel.bindManager(m)
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -119,6 +127,19 @@ func (m *Manager) Registry() *Registry { return m.reg }
 
 // Workers returns the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Telemetry returns the manager's telemetry bundle (nil when the manager
+// was built without one; Telemetry methods are nil-safe).
+func (m *Manager) Telemetry() *Telemetry { return m.tel }
+
+// Ready reports whether the manager is accepting submissions — the
+// readiness the /readyz endpoint serves. It flips false permanently at
+// Close.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
 
 // CacheStats returns (hits, misses, entries) of the result cache.
 func (m *Manager) CacheStats() (int64, int64, int) { return m.cache.stats() }
@@ -185,11 +206,13 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		job.cacheHit = true
 		job.finish(StateDone, cached, "")
 		m.register(job)
+		m.tel.jobSubmitted(job)
 		return job, nil
 	}
 	select {
 	case m.queue <- job:
 		m.register(job)
+		m.tel.jobSubmitted(job)
 		return job, nil
 	default:
 		return nil, ErrQueueFull
@@ -237,6 +260,7 @@ func (m *Manager) Cancel(id string) (State, error) {
 		return "", fmt.Errorf("service: unknown job %q", id)
 	}
 	if job.cancelQueued() {
+		m.tel.jobCancelledQueued(job)
 		return StateCancelled, nil
 	}
 	// Running or already terminal: cancelling the context is a no-op for
@@ -252,6 +276,7 @@ func (m *Manager) RemoveDataset(name string) bool {
 	ok, id := m.reg.remove(name)
 	if ok {
 		m.cache.invalidateSession(id)
+		m.tel.datasetRemoved(name)
 	}
 	return ok
 }
@@ -282,14 +307,18 @@ func (m *Manager) worker() {
 func (m *Manager) run(job *Job) {
 	if job.ctx.Err() != nil { // cancelled (or manager closed) while queued
 		job.finish(StateCancelled, nil, "cancelled before start")
+		m.tel.jobCancelledQueued(job)
 		return
 	}
 	if !job.markRunning() {
-		return // cancelQueued already finished it
+		return // cancelQueued already finished it (and was counted there)
 	}
+	m.tel.jobStarted(job)
 	sess, sessionID, ok := m.reg.lookup(job.req.Dataset)
 	if !ok {
-		job.finish(StateFailed, nil, fmt.Sprintf("dataset %q was removed before the job ran", job.req.Dataset))
+		msg := fmt.Sprintf("dataset %q was removed before the job ran", job.req.Dataset)
+		job.finish(StateFailed, nil, msg)
+		m.tel.jobFinished(job, StateFailed, 0, msg)
 		return
 	}
 	// Expose the session to status readers while the job runs: GET
@@ -312,11 +341,14 @@ func (m *Manager) run(job *Job) {
 		// Explicit DELETE (or manager shutdown), regardless of how the
 		// miner surfaced it: the job is cancelled, not done.
 		job.finish(StateCancelled, result, "cancelled")
+		m.tel.jobFinished(job, StateCancelled, time.Since(start), "cancelled")
 	case err != nil && !errors.Is(err, core.ErrInterrupted):
 		job.finish(StateFailed, nil, err.Error())
+		m.tel.jobFinished(job, StateFailed, time.Since(start), err.Error())
 	default:
 		result.Interrupted = errors.Is(err, core.ErrInterrupted)
 		job.finish(StateDone, result, "")
+		m.tel.jobFinished(job, StateDone, time.Since(start), "")
 		// put refuses retired session ids, so a job finishing after its
 		// dataset was removed cannot insert an unreachable cache entry.
 		m.cache.put(keyOf(sessionID, job.req), result)
@@ -331,11 +363,17 @@ func (m *Manager) run(job *Job) {
 func (m *Manager) mine(ctx context.Context, sess *maimon.Session, job *Job) (*JobResult, error) {
 	req := job.req
 	r := sess.Relation()
+	// Each job owns its trace (concurrent jobs on one session must not
+	// share); the stage breakdown feeds the per-stage metric counters
+	// once the mine returns, partial results included.
+	var tr maimon.MineTrace
+	defer m.tel.observeTrace(&tr)
 	opts := []maimon.Option{
 		maimon.WithEpsilon(req.Epsilon),
 		maimon.WithPruning(!req.DisablePruning),
 		maimon.WithWorkers(req.Workers),
 		maimon.WithProgress(job.observe),
+		maimon.WithTrace(&tr),
 	}
 
 	out := &JobResult{Dataset: req.Dataset, Epsilon: req.Epsilon, Mode: req.Mode}

@@ -1,0 +1,319 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	maimon "repro"
+	"repro/internal/obs"
+)
+
+// Telemetry bundles the service's observability surface: the metrics
+// registry GET /metrics scrapes and the structured logger the job
+// lifecycle writes to. A nil *Telemetry is fully inert — every method is
+// nil-safe — so library users of Manager pay nothing unless they opt in.
+//
+// Metric naming: maimond_* series describe the service process (jobs,
+// queue, HTTP, result cache) and counters carry the _total suffix;
+// maimon_* series are sums of the per-dataset session counters (entropy
+// oracle, PLI cache) exposed as gauges — removing a dataset removes its
+// session's contribution, so those sums can decrease and must not claim
+// counter monotonicity.
+type Telemetry struct {
+	reg *obs.Registry
+	log *slog.Logger
+
+	jobsSubmitted *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+	jobsCacheHit  *obs.Counter
+	jobsRunning   *obs.Gauge
+	jobDuration   *obs.Histogram
+
+	httpInFlight *obs.Gauge
+}
+
+// NewTelemetry builds a telemetry bundle over the given registry and
+// logger. A nil registry gets a fresh obs.NewRegistry; a nil logger
+// discards (metrics without logs is a normal embedding).
+func NewTelemetry(reg *obs.Registry, log *slog.Logger) *Telemetry {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	t := &Telemetry{reg: reg, log: log}
+	t.jobsSubmitted = reg.Counter("maimond_jobs_submitted_total",
+		"Mining jobs accepted by Submit (including result-cache hits).")
+	completed := func(state string) *obs.Counter {
+		return reg.Counter("maimond_jobs_completed_total",
+			"Mining jobs that reached a terminal state, by state.",
+			obs.L("state", state))
+	}
+	t.jobsDone = completed("done")
+	t.jobsFailed = completed("failed")
+	t.jobsCancelled = completed("cancelled")
+	t.jobsCacheHit = reg.Counter("maimond_jobs_cache_hits_total",
+		"Submitted jobs answered instantly from the result cache.")
+	t.jobsRunning = reg.Gauge("maimond_jobs_running",
+		"Mining jobs currently executing on the worker pool.")
+	t.jobDuration = reg.Histogram("maimond_job_duration_seconds",
+		"Wall time of mining-job execution (queued time excluded).",
+		[]float64{.005, .025, .1, .5, 1, 5, 30, 120, 600, 1800})
+	t.httpInFlight = reg.Gauge("maimond_http_requests_in_flight",
+		"HTTP requests currently being served.")
+	reg.GaugeFunc("maimond_build_info",
+		"Constant 1, labeled with the Go runtime version the binary was built with.",
+		func() float64 { return 1 }, obs.L("go_version", runtime.Version()))
+	return t
+}
+
+// observeTrace folds one job's stage-level mine trace into the per-stage
+// duration and call counters. Runs once per finished mine (never on a
+// hot path), so get-or-create child registration per (phase, stage) is
+// fine — the label space is the paper's four stages.
+func (t *Telemetry) observeTrace(tr *obs.MineTrace) {
+	if t == nil || tr == nil {
+		return
+	}
+	for i := range tr.Phases {
+		p := &tr.Phases[i]
+		for _, s := range p.Stages {
+			labels := []obs.Label{obs.L("phase", p.Name), obs.L("stage", s.Name)}
+			t.reg.Counter("maimon_stage_cpu_seconds_total",
+				"CPU time mining jobs spent per stage, summed across parallel workers.",
+				labels...).Add(s.CPU.Seconds())
+			t.reg.Counter("maimon_stage_calls_total",
+				"Stage invocations (separator searches, full-MVD expansions, graph builds, schema syntheses).",
+				labels...).Add(float64(s.Calls))
+		}
+	}
+}
+
+// Registry returns the underlying metrics registry (nil on a nil bundle).
+func (t *Telemetry) Registry() *obs.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Logger returns the structured logger (a discard logger on a nil bundle).
+func (t *Telemetry) Logger() *slog.Logger {
+	if t == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return t.log
+}
+
+// bindManager registers the gauges that read live manager state: queue
+// depth, worker-pool size, retained jobs, result-cache counters, dataset
+// count, and the session-derived maimon_* sums. Called once from
+// NewManager; re-binding a registry keeps the first callback
+// (obs.GaugeFunc semantics), which only matters if two managers share
+// one registry — an embedding this package does not ship.
+func (t *Telemetry) bindManager(m *Manager) {
+	if t == nil {
+		return
+	}
+	r := t.reg
+	r.GaugeFunc("maimond_jobs_queue_depth",
+		"Jobs waiting in the bounded submit queue.",
+		func() float64 { return float64(len(m.queue)) })
+	r.GaugeFunc("maimond_worker_pool_size",
+		"Size of the mining worker pool.",
+		func() float64 { return float64(m.cfg.Workers) })
+	r.GaugeFunc("maimond_jobs_retained",
+		"Job records currently retained (live and terminal).",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.jobs))
+		})
+	r.CounterFunc("maimond_result_cache_hits_total",
+		"Result-cache lookups served from cache.",
+		func() float64 { h, _, _ := m.cache.stats(); return float64(h) })
+	r.CounterFunc("maimond_result_cache_misses_total",
+		"Result-cache lookups that missed.",
+		func() float64 { _, mi, _ := m.cache.stats(); return float64(mi) })
+	r.GaugeFunc("maimond_result_cache_entries",
+		"Completed job results currently retained by the result cache.",
+		func() float64 { _, _, n := m.cache.stats(); return float64(n) })
+	r.GaugeFunc("maimond_datasets_registered",
+		"Datasets currently registered (one warm session each).",
+		func() float64 { return float64(m.reg.Len()) })
+
+	// Session-derived sums. Each callback walks every registered session's
+	// striped counters at scrape time — cheap (a few atomic loads per
+	// shard) and always consistent with what Session.Stats reports.
+	sum := func(pick func(maimon.Stats) float64) func() float64 {
+		return func() float64 {
+			total := 0.0
+			m.reg.EachSession(func(_ string, s *maimon.Session) {
+				total += pick(s.Stats())
+			})
+			return total
+		}
+	}
+	r.GaugeFunc("maimon_entropy_h_calls",
+		"Entropy requests across all live sessions (sum; falls when a dataset is removed).",
+		sum(func(s maimon.Stats) float64 { return float64(s.HCalls) }))
+	r.GaugeFunc("maimon_entropy_h_cached",
+		"Entropy requests served from the memo across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.HCached) }))
+	r.GaugeFunc("maimon_entropy_mi_calls",
+		"Conditional-mutual-information evaluations across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.MICalls) }))
+	r.GaugeFunc("maimon_pli_hits",
+		"PLI partition-cache hits across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Hits) }))
+	r.GaugeFunc("maimon_pli_misses",
+		"PLI partitions computed across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Misses) }))
+	r.GaugeFunc("maimon_pli_intersects",
+		"Pairwise partition intersections across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Intersects) }))
+	r.GaugeFunc("maimon_pli_entropy_only",
+		"Intersections answered as streaming counts (memory budget) across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.EntropyOnly) }))
+	r.GaugeFunc("maimon_pli_bytes_live",
+		"Bytes retained by evictable PLI partitions across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.BytesLive) }))
+	r.GaugeFunc("maimon_pli_bytes_touched",
+		"Partition bytes scanned by the intersection engine across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.BytesTouched) }))
+	r.GaugeFunc("maimon_pli_evictions",
+		"PLI partitions evicted under the memory budget across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Evictions) }))
+	r.GaugeFunc("maimon_pli_entries",
+		"PLI partitions currently cached across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Entries) }))
+}
+
+// jobSubmitted records a Submit outcome.
+func (t *Telemetry) jobSubmitted(job *Job) {
+	if t == nil {
+		return
+	}
+	t.jobsSubmitted.Inc()
+	if job.cacheHit {
+		t.jobsCacheHit.Inc()
+		t.jobsDone.Inc()
+	}
+	t.log.Info("job submitted",
+		"job", job.id, "dataset", job.req.Dataset, "mode", job.req.Mode,
+		"epsilon", job.req.Epsilon, "workers", job.req.Workers,
+		"cache_hit", job.cacheHit)
+}
+
+// jobStarted records a queued → running transition.
+func (t *Telemetry) jobStarted(job *Job) {
+	if t == nil {
+		return
+	}
+	t.jobsRunning.Inc()
+	t.log.Info("job started", "job", job.id, "dataset", job.req.Dataset)
+}
+
+// jobFinished records a running job reaching a terminal state; elapsed
+// is the execution wall time (not queued time).
+func (t *Telemetry) jobFinished(job *Job, state State, elapsed time.Duration, errMsg string) {
+	if t == nil {
+		return
+	}
+	t.jobsRunning.Dec()
+	t.jobDuration.Observe(elapsed.Seconds())
+	switch state {
+	case StateDone:
+		t.jobsDone.Inc()
+	case StateFailed:
+		t.jobsFailed.Inc()
+	case StateCancelled:
+		t.jobsCancelled.Inc()
+	}
+	attrs := []any{
+		"job", job.id, "dataset", job.req.Dataset, "state", string(state),
+		"elapsed_ms", elapsed.Milliseconds(),
+	}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	if state == StateFailed {
+		t.log.Error("job finished", attrs...)
+	} else {
+		t.log.Info("job finished", attrs...)
+	}
+}
+
+// jobCancelledQueued records a job cancelled before any worker ran it.
+func (t *Telemetry) jobCancelledQueued(job *Job) {
+	if t == nil {
+		return
+	}
+	t.jobsCancelled.Inc()
+	t.log.Info("job cancelled while queued", "job", job.id, "dataset", job.req.Dataset)
+}
+
+// datasetAdded / datasetRemoved log registry changes.
+func (t *Telemetry) datasetAdded(info DatasetInfo) {
+	if t == nil {
+		return
+	}
+	t.log.Info("dataset registered",
+		"dataset", info.Name, "rows", info.Rows, "cols", info.Cols)
+}
+
+func (t *Telemetry) datasetRemoved(name string) {
+	if t == nil {
+		return
+	}
+	t.log.Info("dataset removed", "dataset", name)
+}
+
+// statusRecorder captures the response code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps mux with the HTTP telemetry middleware: an in-flight
+// gauge, a per-route latency histogram, and a requests counter labeled
+// by route, method and status class. The route label is the ServeMux
+// pattern that matched (resolved via mux.Handler before serving, so
+// /v1/jobs/{id} stays one series no matter how many jobs exist);
+// unmatched requests fall under "unmatched". A nil Telemetry returns
+// mux unchanged.
+func (t *Telemetry) instrument(mux *http.ServeMux) http.Handler {
+	if t == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		t.httpInFlight.Inc()
+		defer t.httpInFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		t.reg.Histogram("maimond_http_request_duration_seconds",
+			"HTTP request latency by matched route.",
+			nil, obs.L("route", route)).Observe(elapsed)
+		t.reg.Counter("maimond_http_requests_total",
+			"HTTP requests served, by matched route, method and status code.",
+			obs.L("route", route), obs.L("method", r.Method),
+			obs.L("code", strconv.Itoa(rec.code))).Inc()
+	})
+}

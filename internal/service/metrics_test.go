@@ -1,0 +1,261 @@
+package service_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	maimon "repro"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// scrapeMetrics fetches and strictly parses /metrics.
+func scrapeMetrics(t *testing.T, url string) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/metrics: status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	e, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics serves malformed exposition: %v", err)
+	}
+	return e
+}
+
+// sampleValue returns the value of the family's single matching sample,
+// summed across children when a label filter is given.
+func sampleValue(e *obs.Exposition, name string, labels map[string]string) (float64, bool) {
+	sum, found := 0.0, false
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			sum += s.Value
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// TestMetricsEndToEnd is the in-process version of the CI scrape gate:
+// boot the service with telemetry, run a mining job over HTTP, then
+// scrape /metrics and hold the output to the same checks promcheck
+// applies — strict exposition format, at least 20 distinct series, every
+// core series present — plus value-level checks a generic linter cannot.
+func TestMetricsEndToEnd(t *testing.T) {
+	tel := service.NewTelemetry(obs.NewRegistry(), nil)
+	ts, mgr := newTestServer(t, service.Config{Workers: 1, Telemetry: tel})
+	if _, err := mgr.Registry().Add("planted", plantedRelation(t)); err != nil {
+		t.Fatal(err)
+	}
+	id := submitJob(t, ts, service.JobRequest{Dataset: "planted", Epsilon: 0.01}).ID
+	waitDone(t, ts, id)
+
+	e := scrapeMetrics(t, ts.URL)
+	if n := e.SeriesCount(); n < 20 {
+		t.Errorf("/metrics has %d distinct series, want >= 20", n)
+	}
+	for _, name := range []string{
+		"maimond_jobs_submitted_total",
+		"maimond_jobs_completed_total",
+		"maimond_jobs_running",
+		"maimond_jobs_queue_depth",
+		"maimond_jobs_retained",
+		"maimond_worker_pool_size",
+		"maimond_job_duration_seconds_bucket",
+		"maimond_result_cache_hits_total",
+		"maimond_result_cache_misses_total",
+		"maimond_result_cache_entries",
+		"maimond_datasets_registered",
+		"maimond_build_info",
+		"maimond_http_requests_total",
+		"maimond_http_requests_in_flight",
+		"maimond_http_request_duration_seconds_bucket",
+		"maimon_entropy_h_calls",
+		"maimon_entropy_mi_calls",
+		"maimon_pli_hits",
+		"maimon_pli_intersects",
+		"maimon_pli_bytes_live",
+		"maimon_pli_bytes_touched",
+		"maimon_stage_cpu_seconds_total",
+		"maimon_stage_calls_total",
+	} {
+		if !e.Has(name) {
+			t.Errorf("/metrics is missing series %q", name)
+		}
+	}
+	checks := []struct {
+		name   string
+		labels map[string]string
+		want   float64
+	}{
+		{"maimond_jobs_submitted_total", nil, 1},
+		{"maimond_jobs_completed_total", map[string]string{"state": "done"}, 1},
+		{"maimond_jobs_running", nil, 0},
+		{"maimond_job_duration_seconds_count", nil, 1},
+		{"maimond_datasets_registered", nil, 1},
+		{"maimond_worker_pool_size", nil, 1},
+	}
+	for _, c := range checks {
+		got, ok := sampleValue(e, c.name, c.labels)
+		if !ok || got != c.want {
+			t.Errorf("%s%v = %v (present=%v), want %v", c.name, c.labels, got, ok, c.want)
+		}
+	}
+	// A schemes-mode mine runs all four stages; each must have counted.
+	for _, stage := range []string{"minsep", "fullmvd", "graph", "synth"} {
+		if v, ok := sampleValue(e, "maimon_stage_calls_total",
+			map[string]string{"stage": stage}); !ok || v <= 0 {
+			t.Errorf("maimon_stage_calls_total{stage=%q} = %v, want > 0", stage, v)
+		}
+	}
+	// The mine itself must be visible through the session-derived series.
+	if v, ok := sampleValue(e, "maimon_entropy_h_calls", nil); !ok || v <= 0 {
+		t.Errorf("maimon_entropy_h_calls = %v after a mine, want > 0", v)
+	}
+	if v, ok := sampleValue(e, "maimon_pli_bytes_touched", nil); !ok || v <= 0 {
+		t.Errorf("maimon_pli_bytes_touched = %v after a mine, want > 0", v)
+	}
+	// The scrape and job polls above went through the HTTP middleware.
+	if v, ok := sampleValue(e, "maimond_http_requests_total",
+		map[string]string{"route": "POST /jobs", "code": "202"}); !ok || v != 1 {
+		t.Errorf("maimond_http_requests_total{route=\"POST /jobs\",code=\"202\"} = %v, want 1", v)
+	}
+
+	// A second identical submit is a result-cache hit; the counters and a
+	// re-scrape must agree.
+	id2 := submitJob(t, ts, service.JobRequest{Dataset: "planted", Epsilon: 0.01})
+	if !id2.CacheHit {
+		t.Fatal("second identical submit was not a cache hit")
+	}
+	e2 := scrapeMetrics(t, ts.URL)
+	if v, _ := sampleValue(e2, "maimond_jobs_cache_hits_total", nil); v != 1 {
+		t.Errorf("maimond_jobs_cache_hits_total = %v after a cached submit, want 1", v)
+	}
+	if v, _ := sampleValue(e2, "maimond_result_cache_hits_total", nil); v != 1 {
+		t.Errorf("maimond_result_cache_hits_total = %v, want 1", v)
+	}
+}
+
+// TestMetricsDisabled: a manager without a telemetry bundle still serves
+// every API route; /metrics answers 503.
+func TestMetricsDisabled(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/metrics without telemetry: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz without telemetry: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReadyzFlipsOnClose: readiness follows the manager lifecycle — 200
+// while accepting work on both the versioned and unversioned routes, 503
+// after Close; liveness stays 200 throughout.
+func TestReadyzFlipsOnClose(t *testing.T) {
+	ts, mgr := newTestServer(t, service.Config{Workers: 1})
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, path := range []string{"/readyz", "/v1/readyz"} {
+		if got := status(path); got != http.StatusOK {
+			t.Errorf("%s before close: status %d, want 200", path, got)
+		}
+	}
+	mgr.Close()
+	for _, path := range []string{"/readyz", "/v1/readyz"} {
+		if got := status(path); got != http.StatusServiceUnavailable {
+			t.Errorf("%s after close: status %d, want 503", path, got)
+		}
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz after close: status %d, want 200 (liveness is not readiness)", got)
+	}
+}
+
+// TestResultCacheDisabled: ResultCacheEntries = -1 turns result caching
+// off entirely — an identical resubmit mines again instead of answering
+// from cache.
+func TestResultCacheDisabled(t *testing.T) {
+	ts, mgr := newTestServer(t, service.Config{Workers: 1, ResultCacheEntries: -1})
+	if _, err := mgr.Registry().Add("planted", plantedRelation(t)); err != nil {
+		t.Fatal(err)
+	}
+	req := service.JobRequest{Dataset: "planted", Epsilon: 0.01}
+	first := submitJob(t, ts, req)
+	waitDone(t, ts, first.ID)
+	second := submitJob(t, ts, req)
+	if second.CacheHit {
+		t.Fatal("ResultCacheEntries=-1 still served a cache hit")
+	}
+	waitDone(t, ts, second.ID)
+	if hits, _, entries := mgr.CacheStats(); hits != 0 || entries != 0 {
+		t.Errorf("disabled cache reports hits=%d entries=%d, want 0/0", hits, entries)
+	}
+}
+
+// TestEntropyOnlySurfacedInStatus: under a starvation-level memory budget
+// the engine answers intersections as streaming counts without
+// materializing partitions; that count must surface through the job's
+// memory status (and, with telemetry, the maimon_pli_entropy_only gauge).
+func TestEntropyOnlySurfacedInStatus(t *testing.T) {
+	tel := service.NewTelemetry(obs.NewRegistry(), nil)
+	reg := service.NewRegistry(maimon.WithMemoryBudget(1))
+	if _, err := reg.Add("nursery", datagen.Nursery().Head(400)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.NewManager(reg, service.Config{Workers: 1, Telemetry: tel})
+	defer mgr.Close()
+	job, err := mgr.Submit(service.JobRequest{Dataset: "nursery", Epsilon: 0.1, Mode: service.ModeMVDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	st := job.Status()
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	if st.Memory == nil || st.Memory.EntropyOnly == 0 {
+		t.Fatalf("memory status does not surface entropy-only intersections: %+v", st.Memory)
+	}
+}

@@ -146,6 +146,25 @@ func (g *Registry) List() []DatasetInfo {
 	return out
 }
 
+// Len returns the number of registered datasets.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.m)
+}
+
+// EachSession calls fn for every registered dataset's session, in no
+// particular order, under the registry's read lock — fn must be fast and
+// must not call back into the registry. It backs the session-derived
+// metrics the /metrics endpoint aggregates at scrape time.
+func (g *Registry) EachSession(fn func(name string, s *maimon.Session)) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for name, e := range g.m {
+		fn(name, e.sess)
+	}
+}
+
 // Remove deletes the dataset and reports whether it existed along with
 // the removed incarnation's id (for cache invalidation). Jobs already
 // running on it keep their session reference and finish normally.

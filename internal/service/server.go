@@ -29,9 +29,13 @@ const maxUploadBytes = 64 << 20
 //	GET    /v1/jobs/{id}/result                fetch a done job's result
 //	DELETE /v1/jobs/{id}                       cancel a queued/running job
 //	GET    /v1/healthz                         liveness + pool/cache counters
+//	GET    /v1/readyz                          readiness (503 once closed)
+//	GET    /metrics                            Prometheus text exposition
 //
-// All responses are JSON; errors use {"error": "..."} with a matching
-// status code.
+// All responses are JSON except /metrics; errors use {"error": "..."}
+// with a matching status code. When the manager carries a Telemetry
+// bundle, every route is wrapped in the HTTP middleware (per-route
+// latency histograms, request counters, in-flight gauge).
 func NewServer(m *Manager) http.Handler {
 	s := &server{mgr: m}
 	mux := http.NewServeMux()
@@ -46,8 +50,10 @@ func NewServer(m *Manager) http.Handler {
 		mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.getJobResult)
 		mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.deleteJob)
 		mux.HandleFunc("GET "+prefix+"/healthz", s.healthz)
+		mux.HandleFunc("GET "+prefix+"/readyz", s.readyz)
 	}
-	return mux
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return m.Telemetry().instrument(mux)
 }
 
 type server struct {
@@ -90,6 +96,7 @@ func (s *server) postDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
+	s.mgr.Telemetry().datasetAdded(info)
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -181,6 +188,9 @@ func (s *server) deleteJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": state})
 }
 
+// healthz is liveness: the process is up and serving. It always answers
+// 200 — a live-but-not-ready daemon (e.g. draining at shutdown) still
+// reports healthy here and not-ready on /readyz.
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.mgr.CacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -188,4 +198,26 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		"workers": s.mgr.Workers(),
 		"cache":   map[string]int64{"hits": hits, "misses": misses, "entries": int64(entries)},
 	})
+}
+
+// readyz is readiness: 200 while the manager accepts submissions, 503
+// once it is closed (load balancers should stop routing new work here).
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// metrics serves the Prometheus text exposition of the manager's
+// registry; 503 when the manager runs without telemetry.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.mgr.Telemetry().Registry()
+	if reg == nil {
+		writeError(w, http.StatusServiceUnavailable, "telemetry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
 }

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"iter"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/entropy"
 	"repro/internal/info"
+	"repro/internal/obs"
 	"repro/internal/pli"
 )
 
@@ -27,6 +29,28 @@ type Progress = core.Progress
 // shorthand), Shards overrides the cache's shard count, and MaxEntries
 // is the deprecated entry-count cap.
 type PLIConfig = pli.Config
+
+// MineTrace is the stage-level record of one mining call: one phase per
+// top-level mining phase, each with wall time, the entropy/PLI work it
+// caused (as counter deltas), and a per-stage breakdown (separator
+// mining, full-MVD expansion, graph build, schema synthesis). Every
+// stage count and entropy-level count in a trace is deterministic
+// across WithWorkers settings — a parallel mine performs exactly a
+// serial mine's work — so two traces of the same mine differ only in
+// durations and PLI-layer scheduling detail (hit/miss split, intersect
+// and byte counts); MineTrace.CountsOnly reduces a trace to the
+// invariant projection.
+// Session.Trace returns the last mine's trace; WithTrace threads a
+// caller-owned trace through one call.
+type MineTrace = obs.MineTrace
+
+// PhaseTrace, StageTrace and OracleDelta are the components of a
+// MineTrace.
+type (
+	PhaseTrace  = obs.PhaseTrace
+	StageTrace  = obs.StageTrace
+	OracleDelta = obs.OracleDelta
+)
 
 // Stats is a snapshot of a session's entropy-oracle counters: H calls,
 // memo hits, MI evaluations, and the PLI cache counters beneath them. The
@@ -50,6 +74,7 @@ type config struct {
 	pairs      [][2]int
 	pliCfg     PLIConfig
 	progress   func(Progress)
+	trace      *MineTrace
 }
 
 func defaultSessionConfig() config {
@@ -128,6 +153,13 @@ func WithMemoryBudget(bytes int64) Option {
 // from the core mining loops.
 func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
 
+// WithTrace threads a caller-owned MineTrace through a mining call: the
+// call resets it at entry and appends one PhaseTrace per top-level phase
+// it runs. Tracing is always on — Session.Trace returns the last call's
+// trace without this option — but a threaded trace is race-free to read
+// the moment the call returns even when other mines run concurrently.
+func WithTrace(t *MineTrace) Option { return func(c *config) { c.trace = t } }
+
 // coreOptions lowers the resolved config to core.Options. The timeout is
 // deliberately absent: session calls bound time exclusively through the
 // context (mineContext), never through the core per-phase Budget, so
@@ -137,6 +169,7 @@ func (c config) coreOptions() core.Options {
 	o.PairwiseConsistency = c.pruning
 	o.Pairs = c.pairs
 	o.Progress = c.progress
+	o.Trace = c.trace
 	o.Workers = c.workers
 	if c.workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -174,6 +207,11 @@ type Session struct {
 	rel    *Relation
 	oracle *entropy.Oracle
 	base   config
+
+	// lastTrace holds the stage trace of the most recently completed
+	// mining call (published atomically — concurrent mines each publish
+	// their own whole trace; none is ever mutated after publication).
+	lastTrace atomic.Pointer[MineTrace]
 }
 
 // Open builds a session over r. Options become the session's per-call
@@ -216,6 +254,15 @@ func (s *Session) Relation() *Relation { return s.rel }
 // is the warm-oracle reuse the session exists for.
 func (s *Session) Stats() Stats { return s.oracle.Stats() }
 
+// Trace returns the stage-level trace of the most recently completed
+// mining call, or nil before the first one. Each call owns a fresh
+// trace, finished when the call returns, so the result is safe to read
+// and render (MineTrace.String) at any time — unless the session was
+// opened with a WithTrace default, in which case the next call resets
+// that shared trace. When calls run concurrently the last one to finish
+// wins; thread a trace through WithTrace to pin one call's breakdown.
+func (s *Session) Trace() *MineTrace { return s.lastTrace.Load() }
+
 // config resolves one call's options over the session defaults.
 func (s *Session) config(opts []Option) config { return s.base.with(opts) }
 
@@ -245,7 +292,9 @@ func (s *Session) MineMVDs(ctx context.Context, opts ...Option) (*MVDResult, err
 	cfg := s.config(opts)
 	ctx, cancel := cfg.mineContext(ctx)
 	defer cancel()
-	res := s.miner(cfg, ctx).MineMVDs()
+	m := s.miner(cfg, ctx)
+	res := m.MineMVDs()
+	s.lastTrace.Store(m.Trace())
 	return res, res.Err
 }
 
@@ -259,7 +308,9 @@ func (s *Session) MineMinSeps(ctx context.Context, opts ...Option) (*MVDResult, 
 	cfg := s.config(opts)
 	ctx, cancel := cfg.mineContext(ctx)
 	defer cancel()
-	res := s.miner(cfg, ctx).MineMinSepsAll()
+	m := s.miner(cfg, ctx)
+	res := m.MineMinSepsAll()
+	s.lastTrace.Store(m.Trace())
 	return res, res.Err
 }
 
@@ -275,7 +326,9 @@ func (s *Session) MineSchemes(ctx context.Context, opts ...Option) ([]*Scheme, *
 	cfg := s.config(opts)
 	ctx, cancel := cfg.mineContext(ctx)
 	defer cancel()
-	schemes, res := s.miner(cfg, ctx).MineSchemes(cfg.maxSchemes)
+	m := s.miner(cfg, ctx)
+	schemes, res := m.MineSchemes(cfg.maxSchemes)
+	s.lastTrace.Store(m.Trace())
 	return schemes, res, res.Err
 }
 
@@ -301,6 +354,7 @@ func (s *Session) SchemeSeq(ctx context.Context, opts ...Option) iter.Seq2[*Sche
 		ctx, cancel := cfg.mineContext(ctx)
 		defer cancel()
 		m := s.miner(cfg, ctx)
+		defer func() { s.lastTrace.Store(m.Trace()) }()
 		res := m.MineMVDs()
 		if res.Err != nil {
 			yield(nil, res.Err)

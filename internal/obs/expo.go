@@ -14,22 +14,34 @@ import (
 // one # HELP and one # TYPE line followed by its samples; histograms
 // expand into cumulative _bucket series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot family metadata and each family's ordered children under
+	// the registry lock: registration (HTTP middleware, trace observers)
+	// mutates the children map and order slice on live traffic, and a Go
+	// map read concurrent with a write is a fatal runtime error. Only the
+	// instrument value reads below stay lock-free — those are atomic.
+	type famSnap struct {
+		name, help, kind string
+		children         []*child
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
+	fams := make([]famSnap, len(names))
 	for i, n := range names {
-		fams[i] = r.fams[n]
+		f := r.fams[n]
+		cs := make([]*child, len(f.order))
+		for j, s := range f.order {
+			cs[j] = f.children[s]
+		}
+		fams[i] = famSnap{name: f.name, help: f.help, kind: f.kind, children: cs}
 	}
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
-		// Reading children without the registry lock is safe: families
-		// only grow, and instrument reads are atomic snapshots.
 		bw.WriteString("# HELP ")
 		bw.WriteString(f.name)
 		bw.WriteByte(' ')
@@ -40,8 +52,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteByte(' ')
 		bw.WriteString(f.kind)
 		bw.WriteByte('\n')
-		for _, s := range f.order {
-			c := f.children[s]
+		for _, c := range f.children {
 			switch {
 			case c.counter != nil:
 				writeSample(bw, f.name, c.labels, nil, c.counter.Value())

@@ -21,6 +21,8 @@ import (
 	"math/rand/v2"
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -187,21 +189,26 @@ var (
 	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 )
 
-// sig builds the canonical label signature (sorted by key).
+// sig builds the canonical label signature (sorted by key). Values are
+// length-prefixed so separator bytes inside a value cannot collide with
+// the pair delimiters (keys are charset-restricted by labelRE and cannot
+// contain '=' or ',').
 func sig(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
-	s := ""
-	for i, l := range ls {
-		if i > 0 {
-			s += ","
-		}
-		s += l.Key + "=" + escapeLabel(l.Value)
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(len(l.Value)))
+		b.WriteByte(':')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
 	}
-	return s
+	return b.String()
 }
 
 func (r *Registry) familyOf(name, help, kind string) *family {
@@ -244,6 +251,9 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	c, fresh := r.familyOf(name, help, kindCounter).childOf(labels)
 	if fresh {
 		c.counter = &Counter{}
+	}
+	if c.counter == nil {
+		panic(fmt.Sprintf("obs: counter %q already registered as a callback", name))
 	}
 	return c.counter
 }

@@ -324,3 +324,62 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+// TestSigNoSeparatorCollision: label values containing the pair
+// delimiters must not collide into one child instrument.
+func TestSigNoSeparatorCollision(t *testing.T) {
+	a := sig([]Label{L("a", "x"), L("b", "y")})
+	b := sig([]Label{L("a", "x,b=1:y")})
+	if a == b {
+		t.Fatalf("sig collision: %q vs %q", a, b)
+	}
+	r := NewRegistry()
+	c1 := r.Counter("sep_total", "h", L("a", "x"), L("b", "y"))
+	c2 := r.Counter("sep_total", "h", L("a", "x,b=1:y"))
+	if c1 == c2 {
+		t.Fatal("distinct label sets share one counter child")
+	}
+}
+
+// TestCounterCallbackCollisionPanics: asking for a writable counter on a
+// name+labels first registered via CounterFunc must fail loudly at the
+// registration site, not as a nil-pointer panic at the first Add.
+func TestCounterCallbackCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("cbc_total", "h", func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter on a CounterFunc name did not panic")
+		}
+	}()
+	r.Counter("cbc_total", "h")
+}
+
+// TestScrapeDuringRegistration: a /metrics render concurrent with
+// first-seen label registration must not trip the runtime's concurrent
+// map access detector (run under -race in CI).
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r.Counter("churn_total", "h", L("i", string(rune('a'+i%26)))).Inc()
+			r.Histogram("churn_seconds", "h", nil, L("i", string(rune('a'+i%26)))).Observe(0.01)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}

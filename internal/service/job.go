@@ -319,8 +319,10 @@ func memorySnapshot(sess *maimon.Session) *MemoryStatus {
 // finish records the terminal state; the first terminal transition wins.
 // It freezes the session's memory state into the status and drops the
 // session reference, so a retained job record never pins a session a
-// dataset removal has otherwise released.
-func (j *Job) finish(state State, result *JobResult, errMsg string) {
+// dataset removal has otherwise released. It reports whether this call
+// performed the transition (false when the job was already terminal), so
+// callers can emit lifecycle telemetry exactly once per job.
+func (j *Job) finish(state State, result *JobResult, errMsg string) bool {
 	if !state.Terminal() {
 		panic(fmt.Sprintf("service: finish with non-terminal state %q", state))
 	}
@@ -328,7 +330,7 @@ func (j *Job) finish(state State, result *JobResult, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.memFinal = mem
 	j.state = state
@@ -339,6 +341,7 @@ func (j *Job) finish(state State, result *JobResult, errMsg string) {
 		j.started = j.finished
 	}
 	close(j.done)
+	return true
 }
 
 // cancelQueued transitions queued → cancelled directly (no worker has the

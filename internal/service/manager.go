@@ -306,8 +306,11 @@ func (m *Manager) worker() {
 // run executes one job on the calling worker goroutine.
 func (m *Manager) run(job *Job) {
 	if job.ctx.Err() != nil { // cancelled (or manager closed) while queued
-		job.finish(StateCancelled, nil, "cancelled before start")
-		m.tel.jobCancelledQueued(job)
+		// finish reports false when cancelQueued already finished the job —
+		// that path emitted the cancelled event, so don't count it twice.
+		if job.finish(StateCancelled, nil, "cancelled before start") {
+			m.tel.jobCancelledQueued(job)
+		}
 		return
 	}
 	if !job.markRunning() {

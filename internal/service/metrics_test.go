@@ -259,3 +259,71 @@ func TestEntropyOnlySurfacedInStatus(t *testing.T) {
 		t.Fatalf("memory status does not surface entropy-only intersections: %+v", st.Memory)
 	}
 }
+
+// TestCancelledQueuedCountedOnce: a job cancelled while queued is counted
+// exactly once in maimond_jobs_completed_total{state="cancelled"}, even
+// after the worker later drains it from the queue and finds it already
+// terminal.
+func TestCancelledQueuedCountedOnce(t *testing.T) {
+	oreg := obs.NewRegistry()
+	tel := service.NewTelemetry(oreg, nil)
+	reg := service.NewRegistry()
+	if _, err := reg.Add("slow", slowRelation()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("planted", plantedRelation(t)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.NewManager(reg, service.Config{Workers: 1, Telemetry: tel})
+	defer mgr.Close()
+
+	running, err := mgr.Submit(service.JobRequest{Dataset: "slow", Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := mgr.Submit(service.JobRequest{Dataset: "planted", Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Cancel(running.ID()); err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range []*service.Job{running, queued} {
+		select {
+		case <-job.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatal("job did not reach a terminal state")
+		}
+	}
+	// A trailing fast job forces the single worker past the cancelled
+	// queue entry (FIFO) before we scrape.
+	tail, err := mgr.Submit(service.JobRequest{Dataset: "planted", Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tail.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("tail job did not finish")
+	}
+
+	var sb strings.Builder
+	if err := oreg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	e, err := obs.ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sampleValue(e, "maimond_jobs_completed_total",
+		map[string]string{"state": "cancelled"}); v != 2 {
+		t.Errorf("jobs_completed_total{state=cancelled} = %v, want 2 (one queued, one running; no double count)", v)
+	}
+	if v, _ := sampleValue(e, "maimond_jobs_completed_total",
+		map[string]string{"state": "done"}); v != 1 {
+		t.Errorf("jobs_completed_total{state=done} = %v, want 1", v)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/distbench"
 )
 
 var drivers = []struct {
@@ -52,6 +53,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "run the warm-parallel-vs-serial bench and write its rows to this JSON file")
 		memJSON   = flag.String("bench-memory-json", "", "run the memory-budget sweep and write its rows to this JSON file")
 		interJSON = flag.String("bench-intersect-json", "", "run the map-vs-arena intersection bench and write its rows to this JSON file")
+		distJSON  = flag.String("bench-dist-json", "", "run the distributed-mining bench (in-process worker fleet) and write its rows to this JSON file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -86,6 +88,13 @@ func main() {
 	}
 	if *interJSON != "" {
 		if err := writeIntersectJSON(cfg, *interJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distJSON != "" {
+		if err := writeDistJSON(cfg, *distJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -170,6 +179,17 @@ func writeMemoryJSON(cfg experiments.Config, path string) error {
 // tracked across commits (BENCH_intersect.json at the repo root).
 func writeIntersectJSON(cfg experiments.Config, path string) error {
 	return writeRowsJSON(path, experiments.IntersectBench, cfg)
+}
+
+// writeDistJSON runs the distributed-mining benchmark — an in-process
+// maimond worker fleet mined through the pair-sharding coordinator at
+// fleet sizes 1..3 — and records its machine-readable rows, {dataset,
+// workers, shards, wall_ms, local_ms, speedup, dispatches, retries,
+// hedges, bytes_merged, mvds, gomaxprocs, numcpu}, so the coordinator's
+// overhead against a warm local mine is tracked across commits
+// (BENCH_dist.json at the repo root).
+func writeDistJSON(cfg experiments.Config, path string) error {
+	return writeRowsJSON(path, distbench.Run, cfg)
 }
 
 func banner(title string) {

@@ -11,6 +11,18 @@
 //	        [-job-timeout 0] [-cache-bytes 0] [-result-cache 0]
 //	        [-log-level info] [-log-json] [-debug-addr ""]
 //	        [-load name=path.csv ...] [-nursery]
+//	        [-coordinator http://w1:8080,http://w2:8080]
+//	        [-shards-per-worker 4] [-hedge-quantile 0.9]
+//	        [-dist-inflight 0] [-tenant-inflight 0] [-dist-mines 8]
+//	        [-probe-interval 5s]
+//
+// With -coordinator, the daemon additionally acts as the distributed
+// mining coordinator: phase 1 of every job is sharded across the listed
+// worker maimond instances (each of which must have the same datasets
+// registered) and merged back byte-identically; phase 2 runs locally.
+// Any maimond serves the worker side automatically via POST /v1/shards.
+// (The worker-URL flag is -coordinator, not -workers: -workers was
+// already taken by the job pool size.)
 //
 // API (versioned under /v1; the unversioned paths remain as aliases —
 // see README.md for curl examples):
@@ -49,6 +61,7 @@ import (
 
 	maimon "repro"
 	"repro/internal/datagen"
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/service"
@@ -104,6 +117,14 @@ func main() {
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 		debugAddr   = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = disabled; bind to loopback)")
 		nursery     = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
+
+		coordinator     = flag.String("coordinator", "", "comma-separated worker base URLs; when set, phase 1 of every job is sharded across them (distributed mining)")
+		shardsPerWorker = flag.Int("shards-per-worker", 4, "distributed: shards per worker (numShards = this × workers)")
+		hedgeQuantile   = flag.Float64("hedge-quantile", 0.9, "distributed: completed-shard latency quantile after which a straggler shard is hedged to a second worker (≤0 disables)")
+		distInflight    = flag.Int("dist-inflight", 0, "distributed: max concurrent shard RPCs (0 = 4 × workers)")
+		tenantInflight  = flag.Int("tenant-inflight", 0, "distributed: per-tenant concurrent shard RPC budget (0 = same as -dist-inflight)")
+		distMines       = flag.Int("dist-mines", 8, "distributed: max concurrent distributed mines; beyond it submits fail busy")
+		probeInterval   = flag.Duration("probe-interval", 5*time.Second, "distributed: worker /v1/readyz probe period (negative disables active probing)")
 	)
 	flag.Var(&loads, "load", "preload a dataset: name=path.csv (repeatable)")
 	flag.Parse()
@@ -147,6 +168,28 @@ func main() {
 		logger.Info("dataset loaded", "dataset", info.Name, "rows", info.Rows, "cols", info.Cols, "path", path)
 	}
 
+	var coord *dist.Coordinator
+	if *coordinator != "" {
+		var err error
+		coord, err = dist.New(dist.Config{
+			Workers:         strings.Split(*coordinator, ","),
+			ShardsPerWorker: *shardsPerWorker,
+			HedgeQuantile:   *hedgeQuantile,
+			MaxInflight:     *distInflight,
+			TenantInflight:  *tenantInflight,
+			MaxMines:        *distMines,
+			ProbeInterval:   *probeInterval,
+			Registry:        tel.Registry(),
+			Logger:          logger,
+		})
+		if err != nil {
+			fatal("building coordinator", "error", err)
+		}
+		defer coord.Close()
+		logger.Info("distributed mining enabled",
+			"workers", coord.WorkerURLs(), "shards", coord.NumShards())
+	}
+
 	mgr := service.NewManager(reg, service.Config{
 		Workers:            *workers,
 		MineWorkers:        *mineWorkers,
@@ -155,6 +198,7 @@ func main() {
 		MaxJobs:            *maxJobs,
 		ResultCacheEntries: *resultCache,
 		Telemetry:          tel,
+		Coordinator:        coord,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -122,19 +122,66 @@ func (a *progressAgg) pairDone(out *pairOutcome, visited int) {
 	a.mu.Unlock()
 }
 
-// mineMVDsParallel is the fan-out body of MineMVDs: workers claim pairs
-// off an atomic cursor, mine separators and full MVDs with their own
-// miner view, and the driver merges the outcomes in canonical pair order.
-// expand=false restricts the work to the separator phase (MineMinSepsAll).
-func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, phase string, expand bool) {
+// minePairOutcomes is the per-pair fan-out shared by the single-node
+// parallel pipeline and the distributed worker path: workers claim pairs
+// off an atomic cursor and mine separators and full MVDs with their own
+// miner view, filling one outcome slot per pair. Each outcome is locally
+// deduped in discovery order; the cross-pair merge is the caller's
+// (mineMVDsParallel merges into one MVDResult, a distributed coordinator
+// merges shards' outcomes the same way). expand=false restricts the work
+// to the separator phase (MineMinSepsAll). workers <= 1 runs the claim
+// loop on the calling miner itself, so the serial case needs neither a
+// shared oracle nor a fork.
+func (m *Miner) minePairOutcomes(pairs [][2]int, workers int, phase string, expand bool) []pairOutcome {
 	outcomes := make([]pairOutcome, len(pairs))
 	agg := newProgressAgg(m.opts.Progress, phase, len(pairs))
 	var next atomic.Int64
-	var statsMu sync.Mutex
-	var wg sync.WaitGroup
+	minePairs := func(w *Miner) {
+		for {
+			idx := int(next.Add(1)) - 1
+			if idx >= len(pairs) || w.stopped() {
+				return
+			}
+			a, b := pairs[idx][0], pairs[idx][1]
+			if a > b {
+				a, b = b, a
+			}
+			out := &outcomes[idx]
+			before := w.searchStats.Visited
+			out.seps = w.MineMinSeps(a, b)
+			out.trace = w.minsepTrace
+			if expand {
+				expT0 := time.Now()
+				expStats := w.searchStats
+				found := int64(0) // pre-dedup returns, matching the serial loop's count
+				localSeen := make(map[string]bool)
+				for _, sep := range out.seps {
+					if w.stopped() {
+						break
+					}
+					for _, phi := range w.GetFullMVDs(sep, a, b, w.opts.MaxFullMVDsPerSeparator) {
+						found++
+						if fp := phi.Fingerprint(); !localSeen[fp] {
+							localSeen[fp] = true
+							out.mvds = append(out.mvds, phi)
+						}
+					}
+				}
+				w.recordStage(&w.stages.fullmvd, expT0, expStats,
+					int64(w.searchStats.Searches-expStats.Searches), found)
+			}
+			agg.pairDone(out, w.searchStats.Visited-before)
+		}
+	}
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
+	if workers <= 1 {
+		minePairs(m)
+		return outcomes
+	}
+	var statsMu sync.Mutex
+	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
@@ -147,44 +194,19 @@ func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, ph
 				m.stages.add(&w.stages)
 				statsMu.Unlock()
 			}()
-			for {
-				idx := int(next.Add(1)) - 1
-				if idx >= len(pairs) || w.stopped() {
-					return
-				}
-				a, b := pairs[idx][0], pairs[idx][1]
-				if a > b {
-					a, b = b, a
-				}
-				out := &outcomes[idx]
-				before := w.searchStats.Visited
-				out.seps = w.MineMinSeps(a, b)
-				out.trace = w.minsepTrace
-				if expand {
-					expT0 := time.Now()
-					expStats := w.searchStats
-					found := int64(0) // pre-dedup returns, matching the serial loop's count
-					localSeen := make(map[string]bool)
-					for _, sep := range out.seps {
-						if w.stopped() {
-							break
-						}
-						for _, phi := range w.GetFullMVDs(sep, a, b, w.opts.MaxFullMVDsPerSeparator) {
-							found++
-							if fp := phi.Fingerprint(); !localSeen[fp] {
-								localSeen[fp] = true
-								out.mvds = append(out.mvds, phi)
-							}
-						}
-					}
-					w.recordStage(&w.stages.fullmvd, expT0, expStats,
-						int64(w.searchStats.Searches-expStats.Searches), found)
-				}
-				agg.pairDone(out, w.searchStats.Visited-before)
-			}
+			minePairs(w)
 		}()
 	}
 	wg.Wait()
+	return outcomes
+}
+
+// mineMVDsParallel is the fan-out body of MineMVDs: the pairs are mined
+// through minePairOutcomes and the driver merges the outcomes in
+// canonical pair order. expand=false restricts the work to the separator
+// phase (MineMinSepsAll).
+func (m *Miner) mineMVDsParallel(pairs [][2]int, res *MVDResult, workers int, phase string, expand bool) {
+	outcomes := m.minePairOutcomes(pairs, workers, phase, expand)
 
 	// Merge in canonical pair order: the cross-pair fingerprint dedup
 	// replays exactly what the serial loop does, so res.MVDs (after the

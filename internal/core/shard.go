@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/mvd"
+	"repro/internal/stripe"
+)
+
+// This file is the shard-scoped view of phase 1 for the distributed
+// mining tier: assigning attribute pairs to shards by the same fmix64
+// policy the PLI and entropy caches stripe by (internal/stripe), and
+// mining exactly one shard's pairs without the cross-pair merge — the
+// worker half of a coordinator/worker mine. The coordinator reassembles
+// the per-pair outcomes of all shards in canonical pair order and dedups
+// across them, replaying what mineMVDsParallel's merge does on one node,
+// so a distributed mine is byte-identical to a single-node one.
+
+// ShardOfPair assigns the unordered attribute pair (a, b), a < b, to one
+// of numShards shards by hashing the packed pair with the fmix64
+// finalizer. The assignment is a pure function of the pair and the shard
+// count — coordinator and workers never exchange pair lists, they derive
+// them.
+func ShardOfPair(a, b, numShards int) int {
+	if numShards <= 1 {
+		return 0
+	}
+	return int(stripe.Hash(uint64(a)<<32|uint64(b)) % uint64(numShards))
+}
+
+// ShardPairs enumerates the pairs of one shard in canonical order (a < b,
+// lexicographic): the subsequence of allPairs(n) that ShardOfPair maps to
+// shard. Over all shards the lists partition the full pair set.
+func ShardPairs(n, shard, numShards int) [][2]int {
+	var out [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if ShardOfPair(a, b, numShards) == shard {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// PairMVDs is one attribute pair's mining product in exported form: the
+// pair's minimal separators and the full ε-MVDs expanded from them,
+// locally deduplicated in discovery order. It is pairOutcome with the
+// pair attached — the unit a distributed worker ships back to its
+// coordinator.
+type PairMVDs struct {
+	A, B int
+	Seps []bitset.AttrSet
+	MVDs []mvd.MVD // locally deduped, discovery order (pre cross-pair dedup)
+}
+
+// MinePairMVDs mines the given attribute pairs — separators, then full
+// ε-MVDs per separator — and returns the per-pair outcomes without the
+// cross-pair deduplication MineMVDs performs. Outcomes are indexed like
+// pairs. Each pair's outcome is deterministic in isolation (the local
+// dedup sees only that pair's finds), which is what lets a coordinator
+// merge outcomes mined on different machines in canonical pair order and
+// obtain exactly a single-node result.
+//
+// The error is nil, ErrInterrupted after a deadline, or the context's
+// cancellation error; outcomes mined before the stop are valid, the rest
+// are empty.
+func (m *Miner) MinePairMVDs(pairs [][2]int) ([]PairMVDs, error) {
+	m.beginPhase()
+	defer m.tracePhase("mvds")()
+	m.emitProgress(Progress{Phase: "mvds", PairsTotal: len(pairs)})
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	outcomes := m.minePairOutcomes(pairs, m.workers(), "mvds", true)
+	out := make([]PairMVDs, len(pairs))
+	for i := range outcomes {
+		a, b := pairs[i][0], pairs[i][1]
+		if a > b {
+			a, b = b, a
+		}
+		out[i] = PairMVDs{A: a, B: b, Seps: outcomes[i].seps, MVDs: outcomes[i].mvds}
+	}
+	// Same bookkeeping as mineMVDsParallel: the last pair's separator
+	// trace is what a serial run would leave, and one parent-side poll
+	// records the shared stop cause.
+	m.minsepTrace = outcomes[len(outcomes)-1].trace
+	m.stopped()
+	return out, m.interruptErr()
+}

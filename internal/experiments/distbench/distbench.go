@@ -1,0 +1,194 @@
+// Package distbench measures the distributed mining tier against a
+// warm local mine. It is a sub-package rather than part of
+// internal/experiments because it drives the full service stack —
+// service imports the root package, and the root package's bench tests
+// import internal/experiments, so hosting this driver there would close
+// an import cycle.
+package distbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/entropy"
+	"repro/internal/experiments"
+	"repro/internal/pli"
+	"repro/internal/service"
+)
+
+// report mirrors the experiments package's internal report helper: it
+// accumulates the text table and tees it to out.
+type report struct {
+	b   strings.Builder
+	out io.Writer
+}
+
+func (r *report) printf(format string, args ...interface{}) {
+	s := fmt.Sprintf(format, args...)
+	r.b.WriteString(s)
+	if r.out != nil {
+		io.WriteString(r.out, s)
+	}
+}
+
+func (r *report) String() string { return r.b.String() }
+
+// Row is one measurement of the distributed-mining benchmark;
+// the rows are what cmd/experiments -bench-dist-json serializes into
+// BENCH_dist.json, tracking the coordinator's overhead and fan-out
+// accounting across PRs. LocalMS is the warm single-node wall time of
+// the same mine, so Speedup reads as "distributed vs the best local
+// run". On a small machine the fleet is in-process and shares the CPUs,
+// so Speedup < 1 is expected there — GoMaxProcs and NumCPU make that
+// machine caveat machine-readable.
+type Row struct {
+	Dataset     string  `json:"dataset"`
+	Workers     int     `json:"workers"`
+	Shards      int     `json:"shards"`
+	WallMS      float64 `json:"wall_ms"`
+	LocalMS     float64 `json:"local_ms"`
+	Speedup     float64 `json:"speedup"`
+	Dispatches  int     `json:"dispatches"`
+	Retries     int     `json:"retries"`
+	Hedges      int     `json:"hedges"`
+	BytesMerged int64   `json:"bytes_merged"`
+	MVDs        int     `json:"mvds"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"numcpu"`
+}
+
+// distBenchFleet is the worker-count ladder measured per dataset.
+var distBenchFleet = []int{1, 2, 3}
+
+// Run measures the distributed mining tier end to end: an
+// in-process fleet of maimond worker services (real HTTP servers, real
+// JSON shard RPCs) is booted with the benchmark datasets registered,
+// then each dataset's phase 1 is mined through a dist.Coordinator at
+// increasing fleet sizes and compared against the warm single-node mine.
+// Every distributed run must reproduce the single-node MVD count — the
+// tier's determinism contract — and the rows record the fan-out
+// accounting (dispatches, retries, hedges, merged bytes) alongside wall
+// time.
+func Run(cfg experiments.Config) ([]Row, string, error) {
+	rep := &report{out: cfg.Out}
+	eps := 0.1
+	rels, order, err := experiments.BenchDatasets(cfg.Scale)
+	if err != nil {
+		return nil, "", err
+	}
+
+	// Boot the largest fleet once; smaller fleets are URL prefixes of it.
+	maxFleet := distBenchFleet[len(distBenchFleet)-1]
+	urls := make([]string, maxFleet)
+	for i := 0; i < maxFleet; i++ {
+		reg := service.NewRegistry()
+		for _, name := range order {
+			if _, err := reg.Add(name, rels[name]); err != nil {
+				return nil, "", fmt.Errorf("experiments: registering %s on worker %d: %w", name, i, err)
+			}
+		}
+		mgr := service.NewManager(reg, service.Config{
+			Workers:     2,
+			MineWorkers: runtime.GOMAXPROCS(0),
+		})
+		ts := httptest.NewServer(service.NewServer(mgr))
+		defer ts.Close()
+		defer mgr.Close()
+		urls[i] = ts.URL
+	}
+
+	ctx := context.Background()
+	var rows []Row
+	for _, name := range order {
+		r := rels[name]
+
+		// Warm single-node baseline: shared oracle, full local fan-out,
+		// best of three — the number a distributed mine has to beat once
+		// the fleet is real hardware.
+		o := entropy.NewShared(r, pli.DefaultConfig())
+		opts := core.DefaultOptions(eps)
+		opts.Workers = runtime.GOMAXPROCS(0)
+		warm := core.NewMiner(o, opts).MineMVDs()
+		if warm.Err != nil {
+			return nil, "", fmt.Errorf("experiments: warming %s: %w", name, warm.Err)
+		}
+		localBest := time.Duration(1<<63 - 1)
+		for it := 0; it < 3; it++ {
+			start := time.Now()
+			res := core.NewMiner(o, opts).MineMVDs()
+			if res.Err != nil {
+				return nil, "", fmt.Errorf("experiments: local %s: %w", name, res.Err)
+			}
+			if e := time.Since(start); e < localBest {
+				localBest = e
+			}
+		}
+		localMS := float64(localBest.Microseconds()) / 1000
+		rep.printf("\nDist bench (%s): %d cols, %d rows, %d full MVDs at ε=%.2f (local warm %.1fms)\n",
+			name, r.NumCols(), r.NumRows(), len(warm.MVDs), eps, localMS)
+		rep.printf("%8s %7s %10s %9s %10s %8s %7s\n",
+			"workers", "shards", "wall[ms]", "speedup", "dispatches", "retries", "hedges")
+
+		for _, n := range distBenchFleet {
+			coord, err := dist.New(dist.Config{
+				Workers:         append([]string(nil), urls[:n]...),
+				ShardsPerWorker: 4,
+				ProbeInterval:   -1, // fleet is in-process; probing is noise here
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			spec := dist.Spec{
+				Dataset:      name,
+				Epsilon:      eps,
+				ShardWorkers: runtime.GOMAXPROCS(0),
+				NumAttrs:     r.NumCols(),
+				Rows:         r.NumRows(),
+			}
+			best := time.Duration(1<<63 - 1)
+			var bestRep *dist.Report
+			var mvds int
+			for it := 0; it < 4; it++ { // first iteration warms the worker oracles
+				start := time.Now()
+				res, drep, err := coord.MineMVDs(ctx, spec)
+				elapsed := time.Since(start)
+				if err != nil {
+					coord.Close()
+					return nil, "", fmt.Errorf("experiments: dist %s workers=%d: %w", name, n, err)
+				}
+				if len(res.MVDs) != len(warm.MVDs) {
+					coord.Close()
+					return nil, "", fmt.Errorf("experiments: dist %s workers=%d mined %d MVDs, local mined %d",
+						name, n, len(res.MVDs), len(warm.MVDs))
+				}
+				mvds = len(res.MVDs)
+				if it > 0 && elapsed < best {
+					best, bestRep = elapsed, drep
+				}
+			}
+			coord.Close()
+			wallMS := float64(best.Microseconds()) / 1000
+			speedup := 0.0
+			if wallMS > 0 {
+				speedup = localMS / wallMS
+			}
+			rows = append(rows, Row{
+				Dataset: name, Workers: n, Shards: bestRep.Shards,
+				WallMS: wallMS, LocalMS: localMS, Speedup: speedup,
+				Dispatches: bestRep.Dispatches, Retries: bestRep.Retries, Hedges: bestRep.Hedges,
+				BytesMerged: bestRep.BytesMerged, MVDs: mvds,
+				GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			})
+			rep.printf("%8d %7d %10.1f %8.2fx %10d %8d %7d\n",
+				n, bestRep.Shards, wallMS, speedup, bestRep.Dispatches, bestRep.Retries, bestRep.Hedges)
+		}
+	}
+	return rows, rep.String(), nil
+}

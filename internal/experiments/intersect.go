@@ -60,7 +60,7 @@ func intersectWorkload(r *relation.Relation, intersect func(p, q *pli.Partition)
 // recording a wrong number.
 func IntersectBench(cfg Config) ([]IntersectBenchRow, string, error) {
 	rep := newReport(cfg.Out)
-	rels, order, err := parallelBenchDatasets(cfg.Scale)
+	rels, order, err := BenchDatasets(cfg.Scale)
 	if err != nil {
 		return nil, "", err
 	}

@@ -39,7 +39,7 @@ type MemoryBenchRow struct {
 func MemoryBench(cfg Config) ([]MemoryBenchRow, string, error) {
 	rep := newReport(cfg.Out)
 	eps := 0.1
-	rels, order, err := parallelBenchDatasets(cfg.Scale)
+	rels, order, err := BenchDatasets(cfg.Scale)
 	if err != nil {
 		return nil, "", err
 	}

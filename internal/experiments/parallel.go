@@ -38,10 +38,13 @@ func parallelBenchWorkers() []int {
 	return ws
 }
 
-// parallelBenchDatasets builds the two generator workloads the
-// acceptance benchmark runs on: a planted acyclic join with light noise
-// (wide, 78 attribute pairs) and the nursery reconstruction.
-func parallelBenchDatasets(scale int) (map[string]*relation.Relation, []string, error) {
+// BenchDatasets builds the two generator workloads the acceptance
+// benchmarks run on: a planted acyclic join with light noise (wide, 78
+// attribute pairs) and the nursery reconstruction. Exported for the
+// distbench sub-package, which cannot live here: it drives the full
+// service stack, and service imports the root package this package's
+// own callers test against.
+func BenchDatasets(scale int) (map[string]*relation.Relation, []string, error) {
 	if scale <= 0 {
 		scale = 10000
 	}
@@ -75,7 +78,7 @@ func parallelBenchDatasets(scale int) (map[string]*relation.Relation, []string, 
 func ParallelBench(cfg Config) ([]ParallelBenchRow, string, error) {
 	rep := newReport(cfg.Out)
 	eps := 0.1
-	rels, order, err := parallelBenchDatasets(cfg.Scale)
+	rels, order, err := BenchDatasets(cfg.Scale)
 	if err != nil {
 		return nil, "", err
 	}

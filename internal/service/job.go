@@ -8,138 +8,49 @@ import (
 	"time"
 
 	maimon "repro"
+	"repro/internal/wire"
 )
 
-// State is a job lifecycle state. Transitions: queued → running →
-// done|failed|cancelled, plus queued → cancelled (cancelled before a
-// worker picked it up) and queued → done (result-cache hit at submit).
-type State string
+// The JSON shapes of the job API live in internal/wire — one schema
+// shared by these handlers, the distributed coordinator (internal/dist),
+// and external clients. The service re-exports them under their original
+// names so existing embedders keep compiling.
+type (
+	// State is a job lifecycle state. Transitions: queued → running →
+	// done|failed|cancelled, plus queued → cancelled (cancelled before a
+	// worker picked it up) and queued → done (result-cache hit at submit).
+	State = wire.State
+	// JobRequest is the submit payload.
+	JobRequest = wire.JobRequest
+	// SchemeResult is one mined acyclic schema with its quality metrics.
+	SchemeResult = wire.SchemeResult
+	// MVDItem is one mined full ε-MVD.
+	MVDItem = wire.MVDItem
+	// JobResult is what GET /jobs/{id}/result serves once a job is done.
+	JobResult = wire.JobResult
+	// Progress is a live snapshot of how far a job has gotten.
+	Progress = wire.Progress
+	// MemoryStatus is the memory state of the session a job mines against.
+	MemoryStatus = wire.MemoryStatus
+	// DistStatus is the shard fan-out view of a coordinator-run job.
+	DistStatus = wire.DistStatus
+	// JobStatus is the wire representation of a job (GET /jobs/{id}).
+	JobStatus = wire.JobStatus
+)
 
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateQueued    = wire.StateQueued
+	StateRunning   = wire.StateRunning
+	StateDone      = wire.StateDone
+	StateFailed    = wire.StateFailed
+	StateCancelled = wire.StateCancelled
 )
-
-// Terminal reports whether the state is final.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
 
 // Mining modes a job may request.
 const (
-	ModeSchemes = "schemes" // both phases: full ε-MVDs, then acyclic schemes
-	ModeMVDs    = "mvds"    // phase 1 only
+	ModeSchemes = wire.ModeSchemes // both phases: full ε-MVDs, then acyclic schemes
+	ModeMVDs    = wire.ModeMVDs    // phase 1 only
 )
-
-// JobRequest is the submit payload.
-type JobRequest struct {
-	// Dataset names a registered dataset.
-	Dataset string `json:"dataset"`
-	// Epsilon is the approximation threshold ε ≥ 0 in bits.
-	Epsilon float64 `json:"epsilon"`
-	// Mode selects what to mine: "schemes" (default) or "mvds".
-	Mode string `json:"mode,omitempty"`
-	// TimeoutMS bounds the mining run; 0 applies the manager's default.
-	// A timed-out job still completes as done with Interrupted partial
-	// results (matching the library's ErrInterrupted contract).
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// MaxSchemes caps how many schemes are enumerated; 0 applies the
-	// manager's default (DefaultMaxSchemes), -1 means unlimited.
-	MaxSchemes int `json:"max_schemes,omitempty"`
-	// Workers is the parallel fan-out of this job's mining pipeline:
-	// attribute pairs are mined across that many goroutines over the
-	// dataset's shared session. 0 applies the manager's default
-	// (Config.MineWorkers); values are capped at GOMAXPROCS. Results are
-	// deterministic regardless of the fan-out.
-	Workers int `json:"workers,omitempty"`
-	// DisablePruning turns off the pairwise-consistency optimization
-	// (ablation runs only).
-	DisablePruning bool `json:"disable_pruning,omitempty"`
-}
-
-// SchemeResult is one mined acyclic schema with its quality metrics.
-type SchemeResult struct {
-	Schema      string  `json:"schema"`
-	J           float64 `json:"j"`
-	Relations   int     `json:"relations"`
-	Width       int     `json:"width"`
-	SavingsPct  float64 `json:"savings_pct"`
-	SpuriousPct float64 `json:"spurious_pct"`
-}
-
-// MVDItem is one mined full ε-MVD.
-type MVDItem struct {
-	MVD string  `json:"mvd"`
-	J   float64 `json:"j"`
-}
-
-// JobResult is what GET /jobs/{id}/result serves once a job is done.
-type JobResult struct {
-	Dataset     string         `json:"dataset"`
-	Epsilon     float64        `json:"epsilon"`
-	Mode        string         `json:"mode"`
-	Schemes     []SchemeResult `json:"schemes,omitempty"`
-	MVDs        []MVDItem      `json:"mvds"`
-	NumMinSeps  int            `json:"num_min_seps"`
-	Interrupted bool           `json:"interrupted,omitempty"` // deadline hit: results are partial
-	ElapsedMS   int64          `json:"elapsed_ms"`
-}
-
-// Progress is a live snapshot of how far a job has gotten, sourced from
-// the structured event stream the core mining loops emit (one event per
-// attribute pair in phase 1, one per scheme in phase 2) — not synthetic
-// post-phase counters.
-type Progress struct {
-	// Phase is "" (queued), "mvds" or "schemes".
-	Phase string `json:"phase,omitempty"`
-	// PairsDone / PairsTotal track the attribute-pair loop of phase 1.
-	PairsDone  int `json:"pairs_done"`
-	PairsTotal int `json:"pairs_total"`
-	// Candidates counts candidate MVDs the search has evaluated so far.
-	Candidates int `json:"candidates"`
-	// MVDs is the number of full ε-MVDs mined so far.
-	MVDs int `json:"mvds"`
-	// Schemes counts schemes streamed out of the enumerator so far.
-	Schemes int `json:"schemes"`
-}
-
-// MemoryStatus is the memory state of the dataset session a job mines
-// (or mined) against — snapshotted live at status time while the job
-// runs, frozen at its completion. The session is shared by every job on
-// the dataset, so the numbers describe the dataset's cache, not this
-// job alone: bytes_live is the PLI occupancy against the service's
-// -cache-bytes budget, evictions counts partitions dropped to stay
-// inside it (each one a future recompute, never a changed result).
-type MemoryStatus struct {
-	BytesLive  int64 `json:"bytes_live"`
-	Evictions  int   `json:"evictions"`
-	PLIEntries int   `json:"pli_entries"`
-	HCached    int   `json:"h_cached"`
-	// EntropyOnly counts intersections the engine answered as streaming
-	// counts without materializing the partition — the budget-pressure
-	// path: a partition too large for the budget never enters the cache,
-	// its entropy is computed on the fly instead.
-	EntropyOnly int `json:"entropy_only"`
-}
-
-// JobStatus is the wire representation of a job (GET /jobs/{id}).
-type JobStatus struct {
-	ID         string        `json:"id"`
-	Dataset    string        `json:"dataset"`
-	Mode       string        `json:"mode"`
-	Epsilon    float64       `json:"epsilon"`
-	State      State         `json:"state"`
-	Error      string        `json:"error,omitempty"`
-	CacheHit   bool          `json:"cache_hit,omitempty"`
-	Progress   Progress      `json:"progress"`
-	Memory     *MemoryStatus `json:"memory,omitempty"`
-	CreatedAt  time.Time     `json:"created_at"`
-	StartedAt  *time.Time    `json:"started_at,omitempty"`
-	FinishedAt *time.Time    `json:"finished_at,omitempty"`
-}
 
 // Job is one asynchronous mining job. All mutable fields are guarded by
 // mu except the progress counters, which the worker updates with atomics
@@ -167,6 +78,14 @@ type Job struct {
 	candidates atomic.Int64
 	mvds       atomic.Int64 // full MVDs mined so far (phase 1)
 	schemes    atomic.Int64 // schemes enumerated so far (phase 2)
+
+	// Distributed-execution counters, stored from the coordinator's
+	// shard-progress callback; shardsTotal > 0 marks the job as running
+	// distributed and surfaces JobStatus.Dist.
+	shardsDone  atomic.Int64
+	shardsTotal atomic.Int64
+	distRetries atomic.Int64
+	distHedges  atomic.Int64
 
 	mu       sync.Mutex
 	state    State
@@ -251,6 +170,14 @@ func (j *Job) Status() JobStatus {
 		},
 		Memory:    mem,
 		CreatedAt: j.created,
+	}
+	if total := j.shardsTotal.Load(); total > 0 {
+		st.Dist = &DistStatus{
+			ShardsDone:  int(j.shardsDone.Load()),
+			ShardsTotal: int(total),
+			Retries:     int(j.distRetries.Load()),
+			Hedges:      int(j.distHedges.Load()),
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started

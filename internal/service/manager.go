@@ -10,6 +10,7 @@ import (
 
 	maimon "repro"
 	"repro/internal/core"
+	"repro/internal/dist"
 )
 
 // DefaultMaxSchemes caps scheme enumeration for jobs that don't set
@@ -53,6 +54,13 @@ type Config struct {
 	// structured logs (job lifecycle, queue depth, result-cache and
 	// session counters). nil disables all instrumentation at zero cost.
 	Telemetry *Telemetry
+	// Coordinator, when non-nil, switches phase 1 of every job to
+	// distributed execution: the coordinator shards the attribute-pair
+	// space across its worker fleet and merges the results
+	// (byte-identical to local mining), and phase 2 stays local. The
+	// manager does not own the coordinator's lifecycle — the embedder
+	// (cmd/maimond) closes it.
+	Coordinator *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +95,12 @@ type Manager struct {
 	cfg   Config
 	tel   *Telemetry // nil-safe: all hooks no-op when absent
 
+	// coord, when non-nil, runs every job's phase 1 distributed;
+	// shardSem bounds concurrent inbound shard mines (this node acting
+	// as a worker) to the same budget as the job pool.
+	coord    *dist.Coordinator
+	shardSem chan struct{}
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	queue      chan *Job
@@ -109,6 +123,8 @@ func NewManager(reg *Registry, cfg Config) *Manager {
 		cache:      newResultCache(cfg.ResultCacheEntries),
 		cfg:        cfg,
 		tel:        cfg.Telemetry,
+		coord:      cfg.Coordinator,
+		shardSem:   make(chan struct{}, cfg.Workers),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -364,6 +380,9 @@ func (m *Manager) run(job *Job) {
 // returned error is nil, core.ErrInterrupted (partial results after a
 // deadline), or a cancellation error.
 func (m *Manager) mine(ctx context.Context, sess *maimon.Session, job *Job) (*JobResult, error) {
+	if m.coord != nil {
+		return m.mineDistributed(ctx, sess, job)
+	}
 	req := job.req
 	r := sess.Relation()
 	// Each job owns its trace (concurrent jobs on one session must not
@@ -422,4 +441,74 @@ func (m *Manager) mine(ctx context.Context, sess *maimon.Session, job *Job) (*Jo
 		out.Schemes = append(out.Schemes, sr)
 	}
 	return out, err
+}
+
+// mineDistributed is mine() with phase 1 fanned out through the
+// coordinator: the worker fleet mines the attribute-pair shards, the
+// coordinator merges them into the same MVDResult a local mine produces,
+// and phase 2 (scheme synthesis — cheap) runs locally against this
+// node's session. The job's Dist status block tracks the shard fan-out
+// live; the local session is only used for J evaluation, Analyze, and
+// phase 2, all of which are deterministic functions of the merged Mε.
+func (m *Manager) mineDistributed(ctx context.Context, sess *maimon.Session, job *Job) (*JobResult, error) {
+	req := job.req
+	r := sess.Relation()
+	out := &JobResult{Dataset: req.Dataset, Epsilon: req.Epsilon, Mode: req.Mode}
+
+	job.setPhase("mvds")
+	res, _, err := m.coord.MineMVDs(ctx, dist.Spec{
+		Dataset:        req.Dataset,
+		Tenant:         req.Tenant,
+		Epsilon:        req.Epsilon,
+		DisablePruning: req.DisablePruning,
+		ShardWorkers:   req.Workers,
+		NumAttrs:       r.NumCols(),
+		Rows:           r.NumRows(),
+		OnShard: func(p dist.ShardProgress) {
+			job.shardsDone.Store(int64(p.ShardsDone))
+			job.shardsTotal.Store(int64(p.ShardsTotal))
+			job.distRetries.Store(int64(p.Retries))
+			job.distHedges.Store(int64(p.Hedges))
+			job.pairsDone.Store(int64(p.PairsDone))
+			job.pairsTotal.Store(int64(p.PairsTotal))
+		},
+		OnTrace: m.tel.observeTrace,
+	})
+	if res == nil {
+		return out, err
+	}
+	job.mvds.Store(int64(len(res.MVDs)))
+	out.NumMinSeps = res.NumMinSeps()
+	out.MVDs = make([]MVDItem, len(res.MVDs))
+	for i, phi := range res.MVDs {
+		out.MVDs[i] = MVDItem{MVD: phi.Format(r.Names()), J: sess.J(phi)}
+	}
+	if err != nil || req.Mode == ModeMVDs {
+		return out, err
+	}
+
+	job.setPhase("schemes")
+	var tr maimon.MineTrace
+	defer m.tel.observeTrace(&tr)
+	schemes, serr := sess.SchemesFromMVDs(ctx, res.MVDs,
+		maimon.WithEpsilon(req.Epsilon),
+		maimon.WithPruning(!req.DisablePruning),
+		maimon.WithProgress(job.observe),
+		maimon.WithTrace(&tr),
+		maimon.WithMaxSchemes(req.MaxSchemes),
+	)
+	for _, s := range schemes {
+		sr := SchemeResult{
+			Schema:    s.Schema.Format(r.Names()),
+			J:         s.J,
+			Relations: s.M(),
+			Width:     s.Schema.Width(),
+		}
+		if met, merr := sess.Analyze(s.Schema); merr == nil {
+			sr.SavingsPct = met.SavingsPct
+			sr.SpuriousPct = met.SpuriousPct
+		}
+		out.Schemes = append(out.Schemes, sr)
+	}
+	return out, serr
 }

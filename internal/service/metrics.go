@@ -9,6 +9,7 @@ import (
 
 	maimon "repro"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Telemetry bundles the service's observability surface: the metrics
@@ -33,6 +34,8 @@ type Telemetry struct {
 	jobsCacheHit  *obs.Counter
 	jobsRunning   *obs.Gauge
 	jobDuration   *obs.Histogram
+
+	shardsServed *obs.Counter
 
 	httpInFlight *obs.Gauge
 }
@@ -65,6 +68,8 @@ func NewTelemetry(reg *obs.Registry, log *slog.Logger) *Telemetry {
 	t.jobDuration = reg.Histogram("maimond_job_duration_seconds",
 		"Wall time of mining-job execution (queued time excluded).",
 		[]float64{.005, .025, .1, .5, 1, 5, 30, 120, 600, 1800})
+	t.shardsServed = reg.Counter("maimond_shards_served_total",
+		"Distributed-mine shard requests this node answered successfully as a worker.")
 	t.httpInFlight = reg.Gauge("maimond_http_requests_in_flight",
 		"HTTP requests currently being served.")
 	reg.GaugeFunc("maimond_build_info",
@@ -257,6 +262,23 @@ func (t *Telemetry) jobCancelledQueued(job *Job) {
 	}
 	t.jobsCancelled.Inc()
 	t.log.Info("job cancelled while queued", "job", job.id, "dataset", job.req.Dataset)
+}
+
+// shardServed records one inbound shard mine (this node as a worker).
+func (t *Telemetry) shardServed(req wire.ShardRequest, pairs int, elapsed time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.log.Warn("shard mine failed",
+			"dataset", req.Dataset, "shard", req.Shard, "num_shards", req.NumShards,
+			"elapsed_ms", elapsed.Milliseconds(), "error", err.Error())
+		return
+	}
+	t.shardsServed.Inc()
+	t.log.Info("shard mined",
+		"dataset", req.Dataset, "shard", req.Shard, "num_shards", req.NumShards,
+		"epsilon", req.Epsilon, "pairs", pairs, "elapsed_ms", elapsed.Milliseconds())
 }
 
 // datasetAdded / datasetRemoved log registry changes.

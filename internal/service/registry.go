@@ -23,16 +23,11 @@ import (
 
 	maimon "repro"
 	"repro/internal/relation"
+	"repro/internal/wire"
 )
 
-// DatasetInfo describes a registered dataset.
-type DatasetInfo struct {
-	Name     string    `json:"name"`
-	Rows     int       `json:"rows"`
-	Cols     int       `json:"cols"`
-	Attrs    []string  `json:"attrs"`
-	LoadedAt time.Time `json:"loaded_at"`
-}
+// DatasetInfo describes a registered dataset (shape in internal/wire).
+type DatasetInfo = wire.DatasetInfo
 
 // Registry holds one maimon.Session per registered dataset. A relation is
 // parsed, dictionary-encoded, and wrapped in a Session once at

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/wire"
 )
 
 // maxUploadBytes bounds a dataset upload (64 MiB of CSV).
@@ -49,6 +51,7 @@ func NewServer(m *Manager) http.Handler {
 		mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.getJob)
 		mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", s.getJobResult)
 		mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.deleteJob)
+		mux.HandleFunc("POST "+prefix+"/shards", s.postShard)
 		mux.HandleFunc("GET "+prefix+"/healthz", s.healthz)
 		mux.HandleFunc("GET "+prefix+"/readyz", s.readyz)
 	}
@@ -144,6 +147,27 @@ func (s *server) postJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// postShard serves one shard of a distributed mine (the worker half of
+// internal/dist): mine the requested pair shard synchronously and return
+// the per-pair outcomes. Errors map to the status MineShard reports —
+// 404 unknown dataset, 409 shape mismatch, 400 bad range, 503 not ready
+// or interrupted by cancellation.
+func (s *server) postShard(w http.ResponseWriter, r *http.Request) {
+	var req wire.ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid shard request: "+err.Error())
+		return
+	}
+	res, status, err := s.mgr.MineShard(r.Context(), req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {

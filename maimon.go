@@ -99,6 +99,11 @@ type (
 	Scheme = core.Scheme
 	// MVDResult is the outcome of the MVD-mining phase.
 	MVDResult = core.MVDResult
+	// PairMVDs is one attribute pair's phase-1 outcome (separators plus
+	// locally-deduped full ε-MVDs), the unit Session.MinePairMVDs returns
+	// and the distributed mining tier ships between workers and
+	// coordinator.
+	PairMVDs = core.PairMVDs
 	// Metrics quantifies a decomposition (savings, spurious tuples, ...).
 	Metrics = decompose.Metrics
 )

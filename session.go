@@ -298,6 +298,55 @@ func (s *Session) MineMVDs(ctx context.Context, opts ...Option) (*MVDResult, err
 	return res, res.Err
 }
 
+// MinePairMVDs runs phase 1 over exactly the given attribute pairs and
+// returns the per-pair outcomes — each pair's minimal separators and the
+// full ε-MVDs expanded from them, locally deduplicated in discovery
+// order — without the cross-pair merge MineMVDs performs. It is the
+// worker half of distributed mining: a maimond worker mines the pairs of
+// its shards through this method, and the coordinator merges all shards'
+// outcomes in canonical pair order with a global dedup, replaying
+// exactly what a single-node mine does (internal/dist owns that merge).
+// Outcomes are indexed like pairs; WithWorkers bounds the worker-local
+// fan-out and never changes the outcomes.
+func (s *Session) MinePairMVDs(ctx context.Context, pairs [][2]int, opts ...Option) ([]PairMVDs, error) {
+	if err := s.checkArity("MVDs"); err != nil {
+		return nil, err
+	}
+	cfg := s.config(opts)
+	ctx, cancel := cfg.mineContext(ctx)
+	defer cancel()
+	m := s.miner(cfg, ctx)
+	out, err := m.MinePairMVDs(pairs)
+	s.lastTrace.Store(m.Trace())
+	return out, err
+}
+
+// SchemesFromMVDs runs phase 2 (ASMiner) alone over an already-mined Mε:
+// it enumerates the non-extendable acyclic ε-schemas synthesized from
+// maximal pairwise-compatible subsets of mvds, exactly as MineSchemes
+// does after its own phase 1. It exists for callers that obtained the
+// ε-MVDs elsewhere — the distributed coordinator, which merges
+// worker-mined shard results and then runs the cheap central phase here.
+// WithMaxSchemes bounds the enumeration; a deadline or cancelled ctx
+// surfaces as with the other mining methods, with the schemes synthesized
+// so far still valid.
+func (s *Session) SchemesFromMVDs(ctx context.Context, mvds []MVD, opts ...Option) ([]*Scheme, error) {
+	if err := s.checkArity("schemes"); err != nil {
+		return nil, err
+	}
+	cfg := s.config(opts)
+	ctx, cancel := cfg.mineContext(ctx)
+	defer cancel()
+	m := s.miner(cfg, ctx)
+	var out []*Scheme
+	m.EnumerateSchemes(mvds, func(sc *Scheme) bool {
+		out = append(out, sc)
+		return cfg.maxSchemes <= 0 || len(out) < cfg.maxSchemes
+	})
+	s.lastTrace.Store(m.Trace())
+	return out, m.Err()
+}
+
 // MineMinSeps runs only the separator phase for every attribute pair —
 // the workload of the paper's scalability experiments (Sec. 8.3). The
 // result's MinSeps map is filled; no full MVDs are expanded.

@@ -53,6 +53,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "run the warm-parallel-vs-serial bench and write its rows to this JSON file")
 		memJSON   = flag.String("bench-memory-json", "", "run the memory-budget sweep and write its rows to this JSON file")
 		interJSON = flag.String("bench-intersect-json", "", "run the map-vs-arena intersection bench and write its rows to this JSON file")
+		cacheJSON = flag.String("bench-cache-json", "", "run the eviction-policy sweep (clock vs gdsf under shrinking PLI budgets) and write its rows to this JSON file")
 		distJSON  = flag.String("bench-dist-json", "", "run the distributed-mining bench (in-process worker fleet) and write its rows to this JSON file")
 	)
 	flag.Parse()
@@ -88,6 +89,13 @@ func main() {
 	}
 	if *interJSON != "" {
 		if err := writeIntersectJSON(cfg, *interJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cacheJSON != "" {
+		if err := writeCacheJSON(cfg, *cacheJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -179,6 +187,17 @@ func writeMemoryJSON(cfg experiments.Config, path string) error {
 // tracked across commits (BENCH_intersect.json at the repo root).
 func writeIntersectJSON(cfg experiments.Config, path string) error {
 	return writeRowsJSON(path, experiments.IntersectBench, cfg)
+}
+
+// writeCacheJSON runs the eviction-policy sweep — warm ε-sweeps of the
+// planted and nursery generators under {clock, gdsf} × {unlimited, ½, ⅛}
+// PLI budgets — and records its machine-readable rows, {dataset, policy,
+// budget_bytes, wall_ms, evictions, recompute_bytes, h_calls,
+// gomaxprocs, numcpu}, so what cost-aware eviction buys under memory
+// pressure is tracked across commits (BENCH_cache.json at the repo
+// root).
+func writeCacheJSON(cfg experiments.Config, path string) error {
+	return writeRowsJSON(path, experiments.CacheBench, cfg)
 }
 
 // writeDistJSON runs the distributed-mining benchmark — an in-process

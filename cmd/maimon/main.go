@@ -5,7 +5,7 @@
 //
 //	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
 //	       [-timeout 30s] [-max-schemes 50] [-workers 0] [-cache-bytes 0]
-//	       [-fds] [-v] [-trace]
+//	       [-entropy-bytes 0] [-evict-policy clock] [-fds] [-v] [-trace]
 //
 // Modes:
 //
@@ -48,20 +48,22 @@ import (
 
 func main() {
 	var (
-		input      = flag.String("input", "", "input CSV file (required)")
-		header     = flag.Bool("header", true, "first CSV record is the header")
-		epsilon    = flag.Float64("epsilon", 0, "approximation threshold ε in bits")
-		mode       = flag.String("mode", "schemes", "minseps | mvds | schemes | decompose")
-		timeout    = flag.Duration("timeout", time.Minute, "mining time budget (0 = unlimited)")
-		maxSchemes = flag.Int("max-schemes", 100, "cap on schemes enumerated (0 = all)")
-		withFDs    = flag.Bool("fds", false, "also mine exact FDs/UCCs (baseline)")
-		schemaSpec = flag.String("schema", "", "decompose mode: explicit schema, bags separated by ';' (e.g. \"A,B,D;A,C,D;B,D,E;A,F\")")
-		outDir     = flag.String("out", "decomposed", "decompose mode: output directory")
-		rank       = flag.String("rank", "savings", "schemes mode ordering: savings | j | relations | width")
-		workers    = flag.Int("workers", 0, "parallel mining fan-out (0 = GOMAXPROCS, 1 = serial)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
-		verbose    = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
-		trace      = flag.Bool("trace", false, "print the stage-level mine trace (per-phase wall time, entropy/PLI work, per-stage breakdown) to stderr after mining")
+		input        = flag.String("input", "", "input CSV file (required)")
+		header       = flag.Bool("header", true, "first CSV record is the header")
+		epsilon      = flag.Float64("epsilon", 0, "approximation threshold ε in bits")
+		mode         = flag.String("mode", "schemes", "minseps | mvds | schemes | decompose")
+		timeout      = flag.Duration("timeout", time.Minute, "mining time budget (0 = unlimited)")
+		maxSchemes   = flag.Int("max-schemes", 100, "cap on schemes enumerated (0 = all)")
+		withFDs      = flag.Bool("fds", false, "also mine exact FDs/UCCs (baseline)")
+		schemaSpec   = flag.String("schema", "", "decompose mode: explicit schema, bags separated by ';' (e.g. \"A,B,D;A,C,D;B,D,E;A,F\")")
+		outDir       = flag.String("out", "decomposed", "decompose mode: output directory")
+		rank         = flag.String("rank", "savings", "schemes mode ordering: savings | j | relations | width")
+		workers      = flag.Int("workers", 0, "parallel mining fan-out (0 = GOMAXPROCS, 1 = serial)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
+		entropyBytes = flag.Int64("entropy-bytes", 0, "entropy-memo memory budget in bytes; cold entropies are evicted past it (0 = unlimited)")
+		evictPolicy  = flag.String("evict-policy", "clock", "PLI cache eviction policy under -cache-bytes: clock (recency) or gdsf (cost-aware)")
+		verbose      = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
+		trace        = flag.Bool("trace", false, "print the stage-level mine trace (per-phase wall time, entropy/PLI work, per-stage breakdown) to stderr after mining")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -84,8 +86,17 @@ func main() {
 		defer cancel()
 	}
 
-	sess, err := maimon.Open(r, maimon.WithEpsilon(*epsilon), maimon.WithMaxSchemes(*maxSchemes),
-		maimon.WithWorkers(*workers), maimon.WithMemoryBudget(*cacheBytes))
+	sessOpts := []maimon.Option{maimon.WithEpsilon(*epsilon), maimon.WithMaxSchemes(*maxSchemes),
+		maimon.WithWorkers(*workers), maimon.WithMemoryBudget(*cacheBytes),
+		maimon.WithEntropyBudget(*entropyBytes)}
+	switch *evictPolicy {
+	case "", "clock":
+	case "gdsf":
+		sessOpts = append(sessOpts, maimon.WithEvictionPolicy(maimon.PolicyGDSF))
+	default:
+		fail("unknown -evict-policy %q (want clock or gdsf)", *evictPolicy)
+	}
+	sess, err := maimon.Open(r, sessOpts...)
 	if err != nil {
 		fail("%v", err)
 	}

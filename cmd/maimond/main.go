@@ -8,7 +8,8 @@
 // Usage:
 //
 //	maimond [-addr :8080] [-workers N] [-mine-workers 1] [-queue 256]
-//	        [-job-timeout 0] [-cache-bytes 0] [-result-cache 0]
+//	        [-job-timeout 0] [-cache-bytes 0] [-entropy-bytes 0]
+//	        [-evict-policy clock] [-result-cache 0]
 //	        [-log-level info] [-log-json] [-debug-addr ""]
 //	        [-load name=path.csv ...] [-nursery]
 //	        [-coordinator http://w1:8080,http://w2:8080]
@@ -105,18 +106,20 @@ func debugServer(addr string) *http.Server {
 func main() {
 	var loads loadFlags
 	var (
-		addr        = flag.String("addr", ":8080", "HTTP listen address")
-		workers     = flag.Int("workers", 0, "mining worker pool size — concurrent jobs (0 = GOMAXPROCS)")
-		mineWorkers = flag.Int("mine-workers", 1, "default per-job parallel fan-out (jobs may override with \"workers\"; capped at GOMAXPROCS)")
-		queue       = flag.Int("queue", 256, "job queue depth (submits beyond it are rejected)")
-		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
-		maxJobs     = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
-		cacheBytes  = flag.Int64("cache-bytes", 0, "per-dataset PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
-		resultCache = flag.Int("result-cache", 0, "completed job results retained, LRU past the cap (0 = default 256, -1 = disable result caching)")
-		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
-		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
-		debugAddr   = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = disabled; bind to loopback)")
-		nursery     = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "mining worker pool size — concurrent jobs (0 = GOMAXPROCS)")
+		mineWorkers  = flag.Int("mine-workers", 1, "default per-job parallel fan-out (jobs may override with \"workers\"; capped at GOMAXPROCS)")
+		queue        = flag.Int("queue", 256, "job queue depth (submits beyond it are rejected)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job mining timeout (0 = none)")
+		maxJobs      = flag.Int("max-jobs", 1024, "job records retained; oldest finished jobs evicted beyond it")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "per-dataset PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
+		entropyBytes = flag.Int64("entropy-bytes", 0, "per-dataset entropy-memo memory budget in bytes; cold entropies are evicted past it (0 = unlimited)")
+		evictPolicy  = flag.String("evict-policy", "clock", "PLI cache eviction policy under -cache-bytes: clock (recency) or gdsf (cost-aware)")
+		resultCache  = flag.Int("result-cache", 0, "completed job results retained, LRU past the cap (0 = default 256, -1 = disable result caching)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = disabled; bind to loopback)")
+		nursery      = flag.Bool("nursery", false, "preload the paper's nursery dataset as \"nursery\"")
 
 		coordinator     = flag.String("coordinator", "", "comma-separated worker base URLs; when set, phase 1 of every job is sharded across them (distributed mining)")
 		shardsPerWorker = flag.Int("shards-per-worker", 4, "distributed: shards per worker (numShards = this × workers)")
@@ -143,6 +146,16 @@ func main() {
 	var sessOpts []maimon.Option
 	if *cacheBytes > 0 {
 		sessOpts = append(sessOpts, maimon.WithMemoryBudget(*cacheBytes))
+	}
+	if *entropyBytes > 0 {
+		sessOpts = append(sessOpts, maimon.WithEntropyBudget(*entropyBytes))
+	}
+	switch *evictPolicy {
+	case "", "clock":
+	case "gdsf":
+		sessOpts = append(sessOpts, maimon.WithEvictionPolicy(maimon.PolicyGDSF))
+	default:
+		fatal("unknown -evict-policy (want clock or gdsf)", "policy", *evictPolicy)
 	}
 	reg := service.NewRegistry(sessOpts...)
 	if *nursery {

@@ -51,8 +51,15 @@ func testRelations(t *testing.T) map[string]*relation.Relation {
 // newWorker boots one in-process maimond worker with the given datasets
 // registered, fronted by a fault-injection proxy.
 func newWorker(t *testing.T, rels map[string]*relation.Relation, script disttest.Script) (*httptest.Server, *disttest.Proxy) {
+	return newWorkerOpts(t, rels, script)
+}
+
+// newWorkerOpts is newWorker with session options applied to every
+// dataset the worker registers — how the budgeted-fleet suite starves
+// worker caches without touching the coordinator.
+func newWorkerOpts(t *testing.T, rels map[string]*relation.Relation, script disttest.Script, opts ...maimon.Option) (*httptest.Server, *disttest.Proxy) {
 	t.Helper()
-	reg := service.NewRegistry()
+	reg := service.NewRegistry(opts...)
 	for name, r := range rels {
 		if _, err := reg.Add(name, r); err != nil {
 			t.Fatal(err)
@@ -151,6 +158,44 @@ func TestDistributedDeterminismAcrossWorkers(t *testing.T) {
 				}
 				requireSameResult(t, name, got, want)
 			}
+		}
+	}
+}
+
+// TestDistributedBudgetedFleetDeterminism starves every worker in a
+// three-node fleet — tight PLI and entropy-memo budgets under the
+// cost-aware eviction policy — and requires the merged result to stay
+// byte-identical to an unbudgeted single-node mine. Worker-side eviction
+// and memo churn are pure cost: whatever each shard recomputes locally,
+// the merge must not be able to tell. (The name matches the race-enabled
+// eviction-determinism filter of the memory-pressure CI job.)
+func TestDistributedBudgetedFleetDeterminism(t *testing.T) {
+	rels := testRelations(t)
+	starved := []maimon.Option{
+		maimon.WithMemoryBudget(16 << 10),
+		maimon.WithEntropyBudget(2 << 10),
+		maimon.WithEvictionPolicy(maimon.PolicyGDSF),
+	}
+	urls := make([]string, 3)
+	for i := range urls {
+		ts, _ := newWorkerOpts(t, rels, nil, starved...)
+		urls[i] = ts.URL
+	}
+	coord := newCoordinator(t, urls, nil)
+	for name, r := range rels {
+		for _, eps := range []float64{0, 0.1} {
+			want := singleNode(t, r, eps)
+			got, _, err := coord.MineMVDs(context.Background(), dist.Spec{
+				Dataset:      name,
+				Epsilon:      eps,
+				ShardWorkers: 2,
+				NumAttrs:     r.NumCols(),
+				Rows:         r.NumRows(),
+			})
+			if err != nil {
+				t.Fatalf("%s eps=%v: %v", name, eps, err)
+			}
+			requireSameResult(t, name+" starved fleet", got, want)
 		}
 	}
 }

@@ -10,6 +10,7 @@ package entropy
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -22,10 +23,12 @@ import (
 // Stats counts oracle work: the paper calls entropy computation "the most
 // expensive operation of Maimon", so the experiments report these numbers.
 type Stats struct {
-	HCalls   int // calls to H (after memoization of identical sets)
-	HCached  int // H calls answered from the entropy memo
-	MICalls  int // conditional mutual information evaluations
-	PLIStats pli.Stats
+	HCalls        int   // calls to H (after memoization of identical sets)
+	HCached       int   // H calls answered from the entropy memo
+	MICalls       int   // conditional mutual information evaluations
+	MemoBytes     int64 // bytes the entropy memo retains (accounted per entry)
+	MemoEvictions int   // memo entries evicted to stay within the entropy budget
+	PLIStats      pli.Stats
 }
 
 // Oracle memoizes entropies of attribute sets over one relation. It is the
@@ -50,12 +53,16 @@ type Oracle struct {
 	// single-flight per attribute set: a miss installs an in-flight
 	// latch, releases the shard lock, computes the partition, then
 	// publishes, so distinct sets compute in parallel and duplicates wait
-	// only on their own latch. Entropies are 8 bytes each and are never
-	// evicted — the memory budget lives in the PLI cache below, whose
-	// partitions are the actual weight.
-	shared bool
-	shards []memoShard
-	mask   uint64
+	// only on their own latch. The memo itself can be bounded: at 64
+	// attributes × many ε sweeps the 8-byte entropies plus their map
+	// overhead become the dominant resident weight, so SetMemoBudget
+	// gives the shards size-accounted, cost-aware (GDSF-style) eviction
+	// of their own. An evicted entropy is simply recomputed from the PLI
+	// cache on the next read — a budget changes cost, never results.
+	shared      bool
+	shards      []memoShard
+	mask        uint64
+	shardBudget int64 // per-shard memo byte budget; 0 = unbounded
 
 	// The unshared single-goroutine hot path keeps its plain map, plain
 	// counters, and one dedicated PLI arena, untouched by the sharding
@@ -73,15 +80,46 @@ type Oracle struct {
 // add, not a lock acquisition, per call.
 type memoShard struct {
 	mu       sync.Mutex
-	memo     map[bitset.AttrSet]float64
+	memo     map[bitset.AttrSet]memoVal
 	inflight map[bitset.AttrSet]*flight
 
 	hCalls  int
 	hCached int
 	miCalls atomic.Int64
 
+	// Memo-eviction state, all under mu: accounted bytes, the GDSF aging
+	// baseline l, the eviction count, and a reusable scratch slice for
+	// the batched eviction pass.
+	memoBytes int64
+	evictions int
+	l         float64
+	scratch   []memoRef
+
 	_ [64]byte
 }
+
+// memoVal is one memoized entropy plus its eviction priority — shard
+// aging baseline at last touch + recompute cost. Memo entries are
+// uniform in size, so the GDSF cost/size ratio reduces to the cost term:
+// the attribute-set width, a deterministic proxy for the blockwise
+// intersection chain a recompute would walk.
+type memoVal struct {
+	h    float64
+	prio float64
+}
+
+// memoRef is one (set, priority) pair of the batched eviction pass.
+type memoRef struct {
+	attrs bitset.AttrSet
+	prio  float64
+}
+
+// memoEntryBytes is the accounted resident weight of one memo entry:
+// 8-byte key + 16-byte value + map bucket overhead.
+const memoEntryBytes = 48
+
+// memoCost is the GDSF recompute-cost term of a memoized entropy.
+func memoCost(attrs bitset.AttrSet) float64 { return float64(attrs.Len()) }
 
 // New builds an oracle over r with the default PLI cache configuration.
 func New(r *relation.Relation) *Oracle {
@@ -126,10 +164,30 @@ func NewShared(r *relation.Relation, cfg pli.Config) *Oracle {
 	o.shards = make([]memoShard, n)
 	o.mask = uint64(n - 1)
 	for i := range o.shards {
-		o.shards[i].memo = make(map[bitset.AttrSet]float64)
+		o.shards[i].memo = make(map[bitset.AttrSet]memoVal)
 		o.shards[i].inflight = make(map[bitset.AttrSet]*flight)
 	}
 	return o
+}
+
+// SetMemoBudget bounds the bytes the shared entropy memo retains,
+// split evenly across its shards (each keeps at least one entry). When a
+// publish pushes a shard past its slice, the shard evicts its
+// lowest-priority entries — GDSF-style, see memoVal — down to seven
+// eighths of the slice, advancing its aging baseline past them. Evicted
+// entropies are recomputed on demand, so the budget changes cost, never
+// results. <= 0 leaves the memo unbounded. Call before mining begins
+// (session open time); shared oracles only — the unshared
+// single-goroutine memo is not governed.
+func (o *Oracle) SetMemoBudget(bytes int64) {
+	if !o.shared || bytes <= 0 {
+		return
+	}
+	per := bytes / int64(len(o.shards))
+	if per < memoEntryBytes {
+		per = memoEntryBytes
+	}
+	o.shardBudget = per
 }
 
 // memoShardOf maps an attribute set to its memo shard.
@@ -160,12 +218,15 @@ func (o *Oracle) Stats() Stats {
 			sh.mu.Lock()
 			s.HCalls += sh.hCalls
 			s.HCached += sh.hCached
+			s.MemoBytes += sh.memoBytes
+			s.MemoEvictions += sh.evictions
 			sh.mu.Unlock()
 			s.MICalls += int(sh.miCalls.Load())
 		}
 		return s
 	}
 	s := o.stats
+	s.MemoBytes = int64(len(o.memo)) * memoEntryBytes
 	s.PLIStats = o.cache.Stats()
 	return s
 }
@@ -212,10 +273,16 @@ func (o *Oracle) sharedH(a *pli.Arena, attrs bitset.AttrSet) float64 {
 		sh.mu.Unlock()
 		return 0
 	}
-	if h, ok := sh.memo[attrs]; ok {
+	if v, ok := sh.memo[attrs]; ok {
 		sh.hCached++
+		if o.shardBudget > 0 {
+			// Touch: reprice against the current aging baseline so hot
+			// entries outlive the sweep (skipped when unbounded — no
+			// eviction means no one reads the priority).
+			sh.memo[attrs] = memoVal{h: v.h, prio: sh.l + memoCost(attrs)}
+		}
 		sh.mu.Unlock()
-		return h
+		return v.h
 	}
 	if f, ok := sh.inflight[attrs]; ok {
 		// Answered from the latch once the owner publishes: a cached
@@ -238,11 +305,48 @@ func (o *Oracle) sharedH(a *pli.Arena, attrs bitset.AttrSet) float64 {
 	}
 
 	sh.mu.Lock()
-	sh.memo[attrs] = f.h
+	sh.memo[attrs] = memoVal{h: f.h, prio: sh.l + memoCost(attrs)}
+	sh.memoBytes += memoEntryBytes
+	if o.shardBudget > 0 && sh.memoBytes > o.shardBudget {
+		evictMemo(sh, o.shardBudget)
+	}
 	delete(sh.inflight, attrs)
 	sh.mu.Unlock()
 	close(f.done)
 	return f.h
+}
+
+// evictMemo brings one over-budget memo shard down to seven eighths of
+// its slice (hysteresis: each pass frees at least an eighth, so the sort
+// amortizes over many publishes). It drops the lowest-priority entries
+// and advances the shard's aging baseline to the last one dropped —
+// everything inserted or touched afterwards is priced above the ghosts,
+// so an entry survives repeated sweeps only by being re-read or by
+// belonging to a wider (costlier to recompute) set. Ties break on the
+// attribute set so a serial sweep evicts deterministically. Caller holds
+// sh.mu.
+func evictMemo(sh *memoShard, budget int64) {
+	target := budget - budget/8
+	refs := sh.scratch[:0]
+	for a, v := range sh.memo {
+		refs = append(refs, memoRef{attrs: a, prio: v.prio})
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].prio != refs[j].prio {
+			return refs[i].prio < refs[j].prio
+		}
+		return refs[i].attrs < refs[j].attrs
+	})
+	for _, ref := range refs {
+		if sh.memoBytes <= target {
+			break
+		}
+		delete(sh.memo, ref.attrs)
+		sh.memoBytes -= memoEntryBytes
+		sh.evictions++
+		sh.l = ref.prio
+	}
+	sh.scratch = refs[:0]
 }
 
 // CondH returns the conditional entropy H(Y|X) = H(XY) − H(X).
@@ -281,20 +385,37 @@ func (o *Oracle) MI(y, z, x bitset.AttrSet) float64 {
 // distinct (Sec. 3.2).
 func (o *Oracle) LogN() float64 { return o.logN }
 
-// Local is a worker-local view of an oracle: the same memo, cache, and
-// counters, plus a dedicated PLI arena for this goroutine's single-flight
-// computes, so a worker mining through it never touches the arena pool or
-// allocates intersection scratch on the hot path. The parallel mining
-// pipeline hands one to each worker goroutine.
+// Local is a worker-local view of an oracle: the same shared memo,
+// cache, and counters, plus a dedicated PLI arena for this goroutine's
+// single-flight computes and a private read-through memo, so a worker
+// mining through it never touches the arena pool, never allocates
+// intersection scratch, and absorbs its own repeat entropy reads without
+// crossing the shared shards' locks. The parallel mining pipeline hands
+// one to each worker goroutine.
+//
+// The read-through memo caches every entropy the view has seen (shared
+// oracles only, capped so a pathological sweep cannot grow it without
+// bound); hits on it count as cached H calls in worker-private counters
+// that Release flushes into the shared stats — workers release their
+// views before each phase barrier, so phase-boundary Stats snapshots see
+// the same HCalls/HCached totals as a serial mine. Entropies are
+// immutable, so a locally retained value an entropy budget has since
+// evicted from the shared shards is still exact.
 //
 // A Local is bound to one goroutine at a time; Release returns its arena
 // to the pool. H/CondH/MI are semantically identical to the oracle's own
 // (same memo, same single-flight, same counters), so a Local satisfies
 // the same entropy-source contract miners program against.
 type Local struct {
-	o *Oracle
-	a *pli.Arena
+	o               *Oracle
+	a               *pli.Arena
+	memo            map[bitset.AttrSet]float64
+	hCalls, hCached int
 }
+
+// localMemoCap bounds a view's read-through memo; past it, new sets pass
+// through to the shared shards uncached (existing entries keep serving).
+const localMemoCap = 1 << 16
 
 // Local checks a worker-local view out of the arena pool.
 func (o *Oracle) Local() *Local {
@@ -304,21 +425,50 @@ func (o *Oracle) Local() *Local {
 // Oracle returns the oracle behind the view.
 func (l *Local) Oracle() *Oracle { return l.o }
 
-// Release returns the view's arena to the pool; the Local must not be
-// used afterwards.
+// Release returns the view's arena to the pool, flushes the read-through
+// counters into the shared stats, and drops the private memo; the Local
+// must not be used afterwards.
 func (l *Local) Release() {
+	if l.o.shared && l.hCalls > 0 {
+		sh := &l.o.shards[0]
+		sh.mu.Lock()
+		sh.hCalls += l.hCalls
+		sh.hCached += l.hCached
+		sh.mu.Unlock()
+		l.hCalls, l.hCached = 0, 0
+	}
+	l.memo = nil
 	if l.a != nil {
 		pli.PutArena(l.a)
 		l.a = nil
 	}
 }
 
-// H is Oracle.H computed on the view's arena.
+// H is Oracle.H computed on the view's arena, read through the view's
+// private memo: a repeat read is a map probe and two counter bumps, no
+// shard lock, no allocation.
 func (l *Local) H(attrs bitset.AttrSet) float64 {
-	if l.o.shared {
-		return l.o.sharedH(l.a, attrs)
+	if !l.o.shared {
+		return l.o.unsharedH(attrs)
 	}
-	return l.o.unsharedH(attrs)
+	if h, ok := l.memo[attrs]; ok {
+		l.hCalls++
+		l.hCached++
+		return h
+	}
+	h := l.o.sharedH(l.a, attrs)
+	// The empty set is answered before the shared memo probe and never
+	// counts as cached; keep it out of the local memo so the counter
+	// totals match a serial mine exactly.
+	if !attrs.IsEmpty() {
+		if l.memo == nil {
+			l.memo = make(map[bitset.AttrSet]float64, 256)
+		}
+		if len(l.memo) < localMemoCap {
+			l.memo[attrs] = h
+		}
+	}
+	return h
 }
 
 // CondH returns H(Y|X) = H(XY) − H(X).

@@ -1,0 +1,184 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/pli"
+)
+
+// distinctSets returns count distinct multi-attribute sets over n attrs.
+func distinctSets(rng *rand.Rand, n, count int) []bitset.AttrSet {
+	seen := make(map[bitset.AttrSet]bool)
+	var out []bitset.AttrSet
+	for len(out) < count {
+		s := bitset.AttrSet(rng.Int63()) & bitset.Full(n)
+		if s.Len() < 2 || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestMemoBudgetEviction drives a budgeted shared memo through far more
+// distinct sets than the budget can hold and checks the contract: the
+// accounted residency never rests above the budget, evictions are
+// reported, and every entropy re-read after eviction is still exact —
+// the budget changes cost, never results.
+func TestMemoBudgetEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	r := datagen.Uniform(400, 8, 4, 33)
+	o := NewShared(r, pli.Config{Shards: 1})
+	const budget = 10 * memoEntryBytes
+	o.SetMemoBudget(budget)
+
+	sets := distinctSets(rng, 8, 40)
+	want := make(map[bitset.AttrSet]float64, len(sets))
+	for _, s := range sets {
+		want[s] = NaiveH(r, s)
+	}
+	for round := 0; round < 2; round++ {
+		for _, s := range sets {
+			if got := o.H(s); math.Abs(got-want[s]) > 1e-9 {
+				t.Fatalf("round %d: H(%v) = %v under memo eviction, want %v", round, s, got, want[s])
+			}
+			if mb := o.Stats().MemoBytes; mb > budget {
+				t.Fatalf("round %d: MemoBytes %d exceeds budget %d at rest", round, mb, budget)
+			}
+		}
+	}
+	st := o.Stats()
+	if st.MemoEvictions == 0 {
+		t.Fatalf("%d sets through a %d-entry memo budget forced no evictions: %+v",
+			len(sets), budget/memoEntryBytes, st)
+	}
+	if st.MemoBytes == 0 {
+		t.Fatalf("memo emptied completely: %+v", st)
+	}
+}
+
+// TestMemoBudgetKeepsHotEntry: under sustained insert pressure a
+// repeatedly re-read entry must survive the sweeps — each hit reprices it
+// against the aging baseline, so only cold entries age out.
+func TestMemoBudgetKeepsHotEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	r := datagen.Uniform(300, 8, 4, 35)
+	o := NewShared(r, pli.Config{Shards: 1})
+	o.SetMemoBudget(8 * memoEntryBytes)
+
+	// The widest set carries the highest recompute-cost term, and every
+	// touch reprices it against the current aging baseline: together they
+	// keep it strictly above any fresh insert at sweep time.
+	hot := bitset.Full(8)
+	o.H(hot)
+	base := o.Stats()
+	for _, s := range distinctSets(rng, 8, 60) {
+		if s == hot {
+			continue
+		}
+		o.H(s)
+		o.H(hot) // touch: keep the hot entry priced above the churn
+	}
+	st := o.Stats()
+	if st.MemoEvictions == 0 {
+		t.Fatalf("churn forced no evictions: %+v", st)
+	}
+	// Every re-read of the hot set after the first must have been a memo
+	// hit; had the sweeps evicted it, a later read would recompute and the
+	// cached count would fall short.
+	hotReads := st.HCached - base.HCached
+	sh := &o.shards[0]
+	sh.mu.Lock()
+	_, resident := sh.memo[hot]
+	sh.mu.Unlock()
+	if !resident {
+		t.Fatalf("hot entry evicted despite %d touches (evictions %d)", hotReads, st.MemoEvictions)
+	}
+}
+
+// TestMemoBudgetUnsharedNoop: the memo budget governs shared oracles
+// only; on the single-goroutine oracle SetMemoBudget must be a no-op and
+// Stats must still report the plain memo's accounted size.
+func TestMemoBudgetUnsharedNoop(t *testing.T) {
+	r := datagen.Uniform(200, 6, 4, 37)
+	o := New(r)
+	o.SetMemoBudget(memoEntryBytes) // ignored: not shared
+	sets := []bitset.AttrSet{bitset.Of(0, 1), bitset.Of(2, 3), bitset.Of(1, 4, 5)}
+	for _, s := range sets {
+		o.H(s)
+	}
+	st := o.Stats()
+	if st.MemoEvictions != 0 {
+		t.Fatalf("unshared oracle evicted memo entries: %+v", st)
+	}
+	if want := int64(len(sets)) * memoEntryBytes; st.MemoBytes != want {
+		t.Fatalf("unshared MemoBytes = %d, want %d (%d entries)", st.MemoBytes, want, len(sets))
+	}
+}
+
+// TestLocalReadThroughCounters pins the deferred accounting of the
+// worker-local memo: repeat reads through a Local are absorbed privately
+// — the shared shard counters must not move until Release flushes them —
+// and after the flush the totals match what a serial mine would have
+// counted for the same reads.
+func TestLocalReadThroughCounters(t *testing.T) {
+	r := datagen.Uniform(300, 6, 4, 39)
+	o := NewShared(r, pli.Config{Shards: 1})
+	s := bitset.Of(0, 2, 4)
+	want := NaiveH(r, s)
+
+	l := o.Local()
+	if got := l.H(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("H = %v, want %v", got, want)
+	}
+	const repeats = 5
+	for i := 0; i < repeats; i++ {
+		if got := l.H(s); got != want && math.Abs(got-want) > 1e-9 {
+			t.Fatalf("repeat read drifted: %v", got)
+		}
+	}
+	mid := o.Stats()
+	if mid.HCalls != 1 || mid.HCached != 0 {
+		t.Fatalf("local repeat reads leaked to the shards before Release: HCalls=%d HCached=%d, want 1/0",
+			mid.HCalls, mid.HCached)
+	}
+	l.Release()
+	st := o.Stats()
+	if st.HCalls != 1+repeats || st.HCached != repeats {
+		t.Fatalf("flushed totals HCalls=%d HCached=%d, want %d/%d",
+			st.HCalls, st.HCached, 1+repeats, repeats)
+	}
+}
+
+// TestLocalReadThroughZeroAlloc gates the worker-local repeat read at
+// zero allocations: once a Local has seen a set, re-reading it is a
+// private map probe — no shard lock, no allocation — even when an
+// entropy budget has since evicted the set from the shared shards.
+func TestLocalReadThroughZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	r := datagen.Uniform(300, 8, 4, 41)
+	o := NewShared(r, pli.Config{Shards: 1})
+	o.SetMemoBudget(4 * memoEntryBytes)
+
+	l := o.Local()
+	defer l.Release()
+	s := bitset.Of(0, 3, 5)
+	want := l.H(s) // compute once; populates the local memo
+	// Churn the shared memo so s is (very likely) evicted from the shards;
+	// the local view must keep serving it regardless.
+	for _, other := range distinctSets(rng, 8, 30) {
+		o.H(other)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if got := l.H(s); got != want {
+			t.Fatalf("local repeat read drifted: %v != %v", got, want)
+		}
+	}); avg != 0 {
+		t.Errorf("warm local read-through allocates %v times per run, want 0", avg)
+	}
+}

@@ -14,8 +14,10 @@ import (
 // serializes into BENCH_intersect.json, tracking what the arena rewrite
 // of the partition engine buys (and that it keeps buying it) across
 // commits. Engine is "map" (the historical hash-map grouping, kept as
-// pli.IntersectMap) or "arena" (the dense count-then-fill scratch
-// engine behind every cache miss).
+// pli.IntersectMap), "arena" (the dense count-then-fill scratch engine
+// behind every cache miss, width-specialized per relation size), or
+// "arena32" (the same engine pinned to the int32 count kernel via
+// ForceWide — the head-to-head baseline of the int16 specialization).
 type IntersectBenchRow struct {
 	Dataset    string  `json:"dataset"`
 	Engine     string  `json:"engine"`
@@ -65,12 +67,18 @@ func IntersectBench(cfg Config) ([]IntersectBenchRow, string, error) {
 		return nil, "", err
 	}
 	arena := pli.NewArena()
+	wide := pli.NewArena()
+	wide.ForceWide(true)
 	engines := []struct {
 		name string
 		fn   func(p, q *pli.Partition) *pli.Partition
 	}{
 		{"map", pli.IntersectMap},
 		{"arena", arena.Intersect},
+		// The same engine pinned to the int32 count kernel: on datasets
+		// under 32768 rows "arena" auto-selects the int16 specialization,
+		// so arena-vs-arena32 is the width specialization measured alone.
+		{"arena32", wide.Intersect},
 	}
 	var rows []IntersectBenchRow
 	for _, name := range order {
@@ -111,9 +119,9 @@ func IntersectBench(cfg Config) ([]IntersectBenchRow, string, error) {
 			rr := rows[len(rows)-1]
 			rep.printf("%8s %10.1f %12d %14d\n", rr.Engine, rr.WallMS, rr.Allocs, rr.BytesAlloc)
 		}
-		if checksums["map"] != checksums["arena"] {
-			return nil, "", fmt.Errorf("experiments: %s: engines disagree (map %v, arena %v)",
-				name, checksums["map"], checksums["arena"])
+		if checksums["map"] != checksums["arena"] || checksums["map"] != checksums["arena32"] {
+			return nil, "", fmt.Errorf("experiments: %s: engines disagree (map %v, arena %v, arena32 %v)",
+				name, checksums["map"], checksums["arena"], checksums["arena32"])
 		}
 	}
 	return rows, rep.String(), nil

@@ -16,30 +16,41 @@ import (
 //
 // The engine exploits that probe[tid] is a q-cluster index bounded by
 // q.NumClusters(): grouping is a dense counts array indexed by that id
-// plus a touched-list to reset only what was written, never a rehash.
-// Each operation is two passes — count (group sizes, first rows) then
-// fill (row placement at precomputed offsets) — with the canonical
-// first-row cluster order fixed between the passes, so results are
-// byte-identical to IntersectMap and FromAttrs, fused entropy included.
+// plus one spill slot, never a rehash. Each operation is two passes —
+// count (group sizes, first rows) then fill (row placement at precomputed
+// offsets) — with the canonical first-row cluster order fixed between the
+// passes, so results are byte-identical to IntersectMap and FromAttrs,
+// fused entropy included.
+//
+// The count pass is width-specialized: relations of at most 32767 rows
+// (every count, cluster id, and fill cursor fits an int16) run over
+// half-width scratch, halving the count pass' cache footprint. The kernel
+// is selected per operation from the operands' row count; both widths run
+// the identical algorithm and their outputs are byte-identical.
 //
 // An Arena is not safe for concurrent use; check one out per goroutine
 // (the parallel miners hold one per worker via entropy.Oracle.Local) or
 // use the package pool (GetArena/PutArena), which the convenience
 // wrappers fall back to.
 type Arena struct {
-	counts  []int32 // q-cluster id -> running count / fill cursor; all zero between ops
-	touched []int32 // q-cluster ids touched by the current p-cluster
-	descs   []groupDesc
-	order   []int32 // indices into descs of surviving groups, canonical order
-	offsets []int32 // staged offsets of the would-be result
-	rows    []int32 // backing rows for IntersectView results
-	view    Partition
+	counts    []int32 // q-cluster id -> running count / fill cursor; all zero between ops
+	counts16  []int16 // half-width counts/cursors of the narrow kernel
+	touched   []int32 // q-cluster ids touched by the current p-cluster (fill pass)
+	touched16 []int16 // half-width touched ids of the narrow kernel
+	descs     []groupDesc
+	order     []int32 // indices into descs of surviving groups, canonical order
+	offsets   []int32 // staged offsets of the would-be result
+	rows      []int32 // backing rows for IntersectView results
+	view      Partition
 
 	// staged operands and shape from the latest count pass; Intersect and
 	// the cache's price-then-decide path consume them.
 	stagedP, stagedQ *Partition
 	nClusters, nRows int
 	hsum             float64
+
+	narrowOp bool // latest stage ran the int16 kernel; fill must match
+	wide     bool // pin to the int32 kernel (ForceWide)
 }
 
 // groupDesc is one grouping cell of the count pass: a (p-cluster,
@@ -55,6 +66,12 @@ type groupDesc struct {
 // NewArena returns an empty arena; its scratch grows on first use.
 func NewArena() *Arena { return &Arena{} }
 
+// ForceWide pins the count kernel to the 32-bit scratch path even on
+// relations small enough for the int16 specialization. It exists for the
+// property suite and the engine benchmark, which compare the two kernels
+// head to head; production callers never need it.
+func (a *Arena) ForceWide(on bool) { a.wide = on }
+
 var arenaPool = sync.Pool{New: func() any { return NewArena() }}
 
 // GetArena checks an arena out of the package pool.
@@ -64,6 +81,7 @@ func GetArena() *Arena { return arenaPool.Get().(*Arena) }
 // the arena — or any IntersectView result backed by it — afterwards.
 func PutArena(a *Arena) {
 	a.clearStaged()
+	a.wide = false
 	arenaPool.Put(a)
 }
 
@@ -165,36 +183,17 @@ func (a *Arena) stage(p, q *Partition) {
 	a.stagedP, a.stagedQ = p, q
 	probe := q.Probe()
 	nq := q.NumClusters()
-	if cap(a.counts) < nq {
-		a.counts = make([]int32, nq)
-	} else {
-		a.counts = a.counts[:nq]
-	}
 	a.descs = a.descs[:0]
-
-	// Count pass: group the rows of each p-cluster by their q-cluster id.
-	// counts is zero everywhere between clusters (only touched ids are
-	// written and they are reset as the cluster closes), so "count == 0"
-	// doubles as the first-touch test.
-	for ci := 0; ci < p.NumClusters(); ci++ {
-		cluster := p.Cluster(ci)
-		a.touched = a.touched[:0]
-		for _, tid := range cluster {
-			qi := probe[tid]
-			if qi < 0 {
-				continue // singleton in q => singleton in the intersection
-			}
-			if a.counts[qi] == 0 {
-				a.touched = append(a.touched, qi)
-				a.descs = append(a.descs, groupDesc{first: tid, start: -1})
-			}
-			a.counts[qi]++
-		}
-		base := len(a.descs) - len(a.touched)
-		for k, qi := range a.touched {
-			a.descs[base+k].count = a.counts[qi]
-			a.counts[qi] = 0
-		}
+	a.narrowOp = p.n <= math.MaxInt16 && !a.wide
+	// The counts array carries one extra leading slot: indexing by
+	// probe id + 1 routes q-singletons (probe -1) into slot 0, so the
+	// counting loop is a pure increment with no per-row branch.
+	if a.narrowOp {
+		a.counts16 = growInt16(a.counts16, nq+1)
+		a.countPass16(p, probe)
+	} else {
+		a.counts = growInt32(a.counts, nq+1)
+		a.countPass32(p, probe)
 	}
 
 	// Canonicalize: surviving clusters (size >= 2) in first-row order —
@@ -227,11 +226,66 @@ func (a *Arena) stage(p, q *Partition) {
 	a.hsum = hsum
 }
 
+// countPass32 groups the rows of each p-cluster by their q-cluster id on
+// int32 scratch. Touch discovery is separated from counting: the first
+// sweep of a cluster is a pure increment over counts[probe+1] (slot 0
+// absorbs q-singletons, branch-free), the second collects the touched
+// groups in first-occurrence order — identical to the historical
+// first-touch order — and resets their slots, restoring the all-zero
+// invariant. counts holds group sizes bounded by the cluster size, so
+// both widths see the same values.
+func (a *Arena) countPass32(p *Partition, probe []int32) {
+	counts := a.counts
+	for ci := 0; ci < p.NumClusters(); ci++ {
+		cluster := p.Cluster(ci)
+		for _, tid := range cluster {
+			counts[probe[tid]+1]++
+		}
+		counts[0] = 0
+		for _, tid := range cluster {
+			if c := counts[probe[tid]+1]; c != 0 {
+				a.descs = append(a.descs, groupDesc{first: tid, count: c, start: -1})
+				counts[probe[tid]+1] = 0
+			}
+		}
+	}
+}
+
+// countPass16 is countPass32 on int16 scratch: counts and cluster ids are
+// both bounded by the relation's row count, so relations of at most 32767
+// rows fit the half-width arrays and the count pass touches half the
+// cache lines.
+func (a *Arena) countPass16(p *Partition, probe []int32) {
+	counts := a.counts16
+	for ci := 0; ci < p.NumClusters(); ci++ {
+		cluster := p.Cluster(ci)
+		for _, tid := range cluster {
+			counts[probe[tid]+1]++
+		}
+		counts[0] = 0
+		for _, tid := range cluster {
+			if c := counts[probe[tid]+1]; c != 0 {
+				a.descs = append(a.descs, groupDesc{first: tid, count: int32(c), start: -1})
+				counts[probe[tid]+1] = 0
+			}
+		}
+	}
+}
+
 // fill is the second pass: re-scan the staged p-clusters in the same
 // order as the count pass (so the group descriptors line up one-to-one
 // with first touches) and place each row id at its cluster's precomputed
-// offset. dst must have length a.nRows.
+// offset. dst must have length a.nRows. The kernel width follows the
+// staging count pass.
 func (a *Arena) fill(dst []int32) {
+	if a.narrowOp {
+		a.fill16(dst)
+		return
+	}
+	a.fill32(dst)
+}
+
+func (a *Arena) fill32(dst []int32) {
 	probe := a.stagedQ.Probe()
 	d := 0
 	for ci := 0; ci < a.stagedP.NumClusters(); ci++ {
@@ -269,11 +323,57 @@ func (a *Arena) fill(dst []int32) {
 	}
 }
 
+// fill16 is fill32 on the narrow scratch. Cursors run up to start+count+1
+// <= nRows+1; at nRows = 32767 the final post-placement increment wraps,
+// but that slot is reset before it is ever read again (the group is
+// exhausted), so the wrap is unobservable.
+func (a *Arena) fill16(dst []int32) {
+	probe := a.stagedQ.Probe()
+	d := 0
+	for ci := 0; ci < a.stagedP.NumClusters(); ci++ {
+		cluster := a.stagedP.Cluster(ci)
+		a.touched16 = a.touched16[:0]
+		for _, tid := range cluster {
+			qi := probe[tid]
+			if qi < 0 {
+				continue
+			}
+			v := a.counts16[qi]
+			if v == 0 {
+				g := &a.descs[d]
+				d++
+				a.touched16 = append(a.touched16, int16(qi))
+				if g.start < 0 {
+					a.counts16[qi] = -1
+				} else {
+					a.counts16[qi] = int16(g.start) + 1
+				}
+				v = a.counts16[qi]
+			}
+			if v > 0 {
+				dst[v-1] = tid
+				a.counts16[qi] = v + 1
+			}
+		}
+		for _, qi := range a.touched16 {
+			a.counts16[qi] = 0
+		}
+	}
+}
+
 // growInt32 resizes s to n entries, reusing its backing array when it is
 // large enough (the arena's steady state) and reallocating otherwise.
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growInt16 is growInt32 for the narrow scratch.
+func growInt16(s []int16, n int) []int16 {
+	if cap(s) < n {
+		return make([]int16, n)
 	}
 	return s[:n]
 }

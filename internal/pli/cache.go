@@ -1,6 +1,7 @@
 package pli
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -18,9 +19,35 @@ type Stats struct {
 	EntropyOnly  int   // intersections answered as streaming counts, never materialized (memory budget)
 	Entries      int   // partitions currently cached (live, post-eviction, all shards)
 	BytesLive    int64 // bytes retained by evictable (multi-attribute) partitions
+	BytesPinned  int64 // bytes retained by pinned (single-attribute) partitions, outside the budget
 	Evictions    int   // partitions evicted to stay within the memory budget
 	BytesTouched int64 // partition bytes scanned by the intersection engine (row ids read + probe lookups)
 }
+
+// Policy selects the eviction policy a memory budget drives.
+type Policy string
+
+const (
+	// PolicyClock is the sharded clock (second-chance) policy: purely
+	// recency-driven, one lap of grace per entry. The default.
+	PolicyClock Policy = "clock"
+	// PolicyGDSF is Greedy-Dual-Size-Frequency-style cost-aware
+	// eviction. Every evictable entry carries a priority
+	//
+	//	priority = shard aging baseline + recompute cost / size
+	//
+	// where the recompute cost is measured from the partition's own
+	// build — the bytes its final intersection scanned (rows of the
+	// smaller operand read plus probe lookups) — and the size is its
+	// resident SizeBytes. A touch refreshes the priority against the
+	// current baseline; eviction drops the lowest-priority entry and
+	// advances the baseline to it, so cold entries age out unless they
+	// are expensive to rebuild relative to the bytes they occupy.
+	// Hot-but-huge and cheap-but-cold partitions rank correctly where
+	// the clock treats them alike. Like every budget knob, the policy
+	// changes cost, never results.
+	PolicyGDSF Policy = "gdsf"
+)
 
 // Config tunes a Cache.
 type Config struct {
@@ -29,14 +56,14 @@ type Config struct {
 	BlockSize int
 	// MaxBytes is the cache's memory budget: the total Partition.SizeBytes
 	// of retained multi-attribute partitions. When an insert pushes the
-	// cache over the budget, cold partitions are evicted (clock /
-	// second-chance, per shard) until it fits again; evicted partitions
-	// are recomputed on demand, so a budget changes cost, never results.
+	// cache over the budget, cold partitions are evicted (per shard,
+	// under Policy) until it fits again; evicted partitions are
+	// recomputed on demand, so a budget changes cost, never results.
 	// Single-attribute partitions are pinned — never evicted and not
-	// counted against the budget. A partition whose SizeBytes alone
-	// exceeds the budget is never materialized on the entropy path: its H
-	// is computed as a streaming count (Stats.EntropyOnly). <= 0 means
-	// unlimited.
+	// counted against the budget (Stats.BytesPinned reports them). A
+	// partition whose SizeBytes alone exceeds the budget is never
+	// materialized on the entropy path: its H is computed as a streaming
+	// count (Stats.EntropyOnly). <= 0 means unlimited.
 	MaxBytes int64
 	// MaxEntries caps the number of cached partitions (the pinned
 	// single-attribute ones included, matching its historical accounting).
@@ -51,6 +78,9 @@ type Config struct {
 	// lock contention between concurrent miners and evictions that block
 	// only the shard they sweep.
 	Shards int
+	// Policy selects the eviction policy the budgets drive: PolicyClock
+	// (the default; "" means clock) or PolicyGDSF.
+	Policy Policy
 }
 
 // DefaultConfig mirrors the paper's implementation choices.
@@ -61,10 +91,11 @@ func DefaultConfig() Config { return Config{BlockSize: 10} }
 // of CNT/TID tables, with the blockwise assembly of Sec. 6.3.
 //
 // The cache is split into power-of-two shards by a hash of the attribute
-// set; each shard owns its slice of the map plus a clock (second-chance)
-// ring driving eviction under the byte budget (Config.MaxBytes), so an
-// eviction sweep locks one shard at a time and never blocks concurrent
-// Gets on the others.
+// set; each shard owns its slice of the map plus a ring of evictable
+// entries driving eviction under the byte budget (Config.MaxBytes) — a
+// clock hand or a GDSF priority scan, per Config.Policy — so an eviction
+// sweep locks one shard at a time and never blocks concurrent Gets on the
+// others.
 //
 // Cache is safe for concurrent use: each attribute set is guarded by a
 // latch-per-entry — the first goroutine to request a set installs an
@@ -72,8 +103,8 @@ func DefaultConfig() Config { return Config{BlockSize: 10} }
 // publishes it, so duplicate requests block only on their own entry while
 // distinct sets compute in parallel. Waits follow the strict-subset order
 // of the blockwise assembly, so they cannot cycle. In-flight entries are
-// never in a clock ring, so eviction cannot tear a latch out from under
-// its waiters.
+// never in an eviction ring, so eviction cannot tear a latch out from
+// under its waiters.
 //
 // All computation runs on an Arena. GetWith/EntropyWith thread the
 // caller's worker-local arena through the whole blockwise chain; the
@@ -88,8 +119,9 @@ type Cache struct {
 
 	// entries/bytesLive are global so the budget check is one atomic
 	// load; the per-shard rings only drive *which* entry goes.
-	entries   atomic.Int64
-	bytesLive atomic.Int64
+	entries     atomic.Int64
+	bytesLive   atomic.Int64
+	bytesPinned atomic.Int64
 
 	hits         atomic.Int64
 	misses       atomic.Int64
@@ -100,12 +132,17 @@ type Cache struct {
 }
 
 // cacheShard is one slice of the cache: its part of the map plus the
-// clock ring of evictable (published, unpinned) entries.
+// ring of evictable (published, unpinned) entries.
 type cacheShard struct {
 	mu    sync.Mutex
 	parts map[bitset.AttrSet]*entry
-	ring  []*entry // evictable entries in clock order
-	hand  int      // clock hand into ring
+	ring  []*entry // evictable entries in insertion/clock order
+	hand  int      // clock hand into ring (PolicyClock)
+
+	// lbits is the GDSF aging baseline L (float bits): every insert and
+	// touch prices its entry against it, every eviction advances it to
+	// the evicted priority. Atomic so the lock-free hit path can read it.
+	lbits atomic.Uint64
 
 	_ [64]byte // keep hot shard state off its neighbors' cache lines
 }
@@ -113,18 +150,21 @@ type cacheShard struct {
 // entry is one cache slot: ready is closed once p is published. The
 // goroutine that installed the entry computes; everyone else waits. ref
 // is the clock reference bit — set on every touch, cleared (one lap of
-// grace) by the sweep before the entry may be evicted.
+// grace) by the sweep before the entry may be evicted. Under PolicyGDSF
+// a touch instead reprices prio against the shard's aging baseline.
 type entry struct {
 	ready  chan struct{}
 	p      *Partition
 	attrs  bitset.AttrSet
-	bytes  int64 // SizeBytes of p, fixed at publish
-	pinned bool  // single-attribute partitions are never evicted
+	bytes  int64   // SizeBytes of p, fixed at publish
+	cost   float64 // recompute cost: bytes the partition's own build scanned
+	pinned bool    // single-attribute partitions are never evicted
 	ref    atomic.Bool
+	prio   atomic.Uint64 // GDSF priority (float bits)
 }
 
 func newEntry(attrs bitset.AttrSet, p *Partition) *entry {
-	e := &entry{ready: make(chan struct{}), p: p, attrs: attrs, pinned: true}
+	e := &entry{ready: make(chan struct{}), p: p, attrs: attrs, bytes: p.SizeBytes(), pinned: true}
 	close(e.ready)
 	return e
 }
@@ -134,6 +174,13 @@ func newEntry(attrs bitset.AttrSet, p *Partition) *entry {
 func NewCache(r *relation.Relation, cfg Config) *Cache {
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = 10
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = PolicyClock
+	case PolicyClock, PolicyGDSF:
+	default:
+		panic("pli: unknown eviction policy " + string(cfg.Policy))
 	}
 	n := r.NumCols()
 	numShards := stripe.Count(cfg.Shards)
@@ -159,8 +206,10 @@ func NewCache(r *relation.Relation, cfg Config) *Cache {
 	}
 	for j := 0; j < n; j++ {
 		s := bitset.Single(j)
-		c.shard(s).parts[s] = newEntry(s, SingleAttribute(r, j))
+		e := newEntry(s, SingleAttribute(r, j))
+		c.shard(s).parts[s] = e
 		c.entries.Add(1)
+		c.bytesPinned.Add(e.bytes)
 	}
 	return c
 }
@@ -182,9 +231,26 @@ func (c *Cache) Stats() Stats {
 		EntropyOnly:  int(c.entropyOnly.Load()),
 		Entries:      int(c.entries.Load()),
 		BytesLive:    c.bytesLive.Load(),
+		BytesPinned:  c.bytesPinned.Load(),
 		Evictions:    int(c.evictions.Load()),
 		BytesTouched: c.bytesTouched.Load(),
 	}
+}
+
+// touch refreshes an entry's standing with the eviction policy on a warm
+// serve: the clock reference bit, or the GDSF priority repriced against
+// the shard's current aging baseline. Lock-free and allocation-free —
+// this sits on every warm hit.
+func (c *Cache) touch(sh *cacheShard, e *entry) {
+	if c.cfg.Policy != PolicyGDSF {
+		e.ref.Store(true)
+		return
+	}
+	if e.pinned || e.bytes <= 0 {
+		return
+	}
+	l := math.Float64frombits(sh.lbits.Load())
+	e.prio.Store(math.Float64bits(l + e.cost/float64(e.bytes)))
 }
 
 // Get returns the stripped partition for attrs, computing and caching it
@@ -199,8 +265,8 @@ func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
 // GetWith is Get on the caller's arena. Concurrent requests for the same
 // fresh set compute it once; the rest wait on its entry. A warm serve —
 // single-attribute sets and lost install races included — counts toward
-// Stats.Hits and refreshes the entry's clock bit; only requests that
-// actually computed the partition count as misses.
+// Stats.Hits and refreshes the entry's eviction standing; only requests
+// that actually computed the partition count as misses.
 func (c *Cache) GetWith(a *Arena, attrs bitset.AttrSet) *Partition {
 	sh := c.shard(attrs)
 	sh.mu.Lock()
@@ -209,10 +275,10 @@ func (c *Cache) GetWith(a *Arena, attrs bitset.AttrSet) *Partition {
 	if ok {
 		<-e.ready
 		c.hits.Add(1)
-		e.ref.Store(true)
+		c.touch(sh, e)
 		return e.p
 	}
-	p, won := c.compute(a, attrs)
+	p, _, won := c.compute(a, attrs)
 	if won {
 		c.misses.Add(1)
 	} else {
@@ -245,7 +311,7 @@ func (c *Cache) EntropyWith(a *Arena, attrs bitset.AttrSet) float64 {
 	if ok {
 		<-e.ready
 		c.hits.Add(1)
-		e.ref.Store(true)
+		c.touch(sh, e)
 		return e.p.Entropy()
 	}
 	h, won := c.computeEntropy(a, attrs)
@@ -259,13 +325,16 @@ func (c *Cache) EntropyWith(a *Arena, attrs bitset.AttrSet) float64 {
 
 // materialize returns the partition for attrs, building it via build at
 // most once per cached entry: the installer computes and publishes, every
-// concurrent duplicate waits on the entry's latch. Published entries are
-// subject to eviction; a later request for an evicted set simply lands
-// here again and recomputes. The second return reports whether this call
-// installed and built the entry — false means it was served warm off an
-// entry some other goroutine published first (the stats treat that as a
-// hit: no compute happened here).
-func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) (*Partition, bool) {
+// concurrent duplicate waits on the entry's latch. build returns the
+// partition plus its recompute cost (the bytes the build actually
+// scanned, cascaded child rebuilds included), which prices the entry
+// under PolicyGDSF.
+// Published entries are subject to eviction; a later request for an
+// evicted set simply lands here again and recomputes. The second return
+// reports whether this call installed and built the entry — false means
+// it was served warm off an entry some other goroutine published first
+// (the stats treat that as a hit: no compute happened here).
+func (c *Cache) materialize(attrs bitset.AttrSet, build func() (*Partition, int64)) (*Partition, bool) {
 	sh := c.shard(attrs)
 	sh.mu.Lock()
 	e, ok := sh.parts[attrs]
@@ -273,23 +342,29 @@ func (c *Cache) materialize(attrs bitset.AttrSet, build func() *Partition) (*Par
 		e = &entry{ready: make(chan struct{}), attrs: attrs, pinned: attrs.Len() <= 1}
 		sh.parts[attrs] = e
 		sh.mu.Unlock()
-		e.p = build()
+		var cost int64
+		e.p, cost = build()
+		e.cost = float64(cost)
 		c.publish(sh, e)
 		return e.p, true
 	}
 	sh.mu.Unlock()
 	<-e.ready
-	e.ref.Store(true)
+	c.touch(sh, e)
 	return e.p, false
 }
 
 // publish completes an in-flight entry: account its bytes, release the
-// waiters, enter it into its shard's clock ring, and evict if the insert
-// pushed the cache over budget. The order matters — the latch opens
-// before the entry becomes evictable, so waiters always read e.p.
+// waiters, enter it into its shard's eviction ring, and evict if the
+// insert pushed the cache over budget. The order matters — the latch
+// opens before the entry becomes evictable, so waiters always read e.p.
 func (c *Cache) publish(sh *cacheShard, e *entry) {
 	e.bytes = e.p.SizeBytes()
 	e.ref.Store(true)
+	if c.cfg.Policy == PolicyGDSF && !e.pinned && e.bytes > 0 {
+		l := math.Float64frombits(sh.lbits.Load())
+		e.prio.Store(math.Float64bits(l + e.cost/float64(e.bytes)))
+	}
 	close(e.ready)
 	// Entries counts published partitions only: an in-flight latch holds
 	// no partition yet, must not show up in Stats.Entries as a live slot,
@@ -297,6 +372,7 @@ func (c *Cache) publish(sh *cacheShard, e *entry) {
 	// partitions to make room for inserts that may yet revert.
 	c.entries.Add(1)
 	if e.pinned {
+		c.bytesPinned.Add(e.bytes)
 		return
 	}
 	c.bytesLive.Add(e.bytes)
@@ -353,8 +429,8 @@ func (c *Cache) overBudget() bool {
 // enforceBudget evicts cold partitions until the cache fits its budgets
 // again, starting at the shard that just grew and sweeping the others
 // round-robin. Each shard is locked only for its own sweep. If everything
-// left is pinned, in-flight, or freshly referenced the pass gives up; the
-// next publish tries again.
+// left is pinned, in-flight, or protected by the policy the pass gives
+// up; the next publish tries again.
 func (c *Cache) enforceBudget(prefer *cacheShard) {
 	if c.cfg.MaxBytes <= 0 && c.cfg.MaxEntries <= 0 {
 		return
@@ -373,7 +449,12 @@ func (c *Cache) enforceBudget(prefer *cacheShard) {
 		if !c.overBudget() {
 			return
 		}
-		c.sweep(&c.shards[(start+i)%len(c.shards)])
+		sh := &c.shards[(start+i)%len(c.shards)]
+		if c.cfg.Policy == PolicyGDSF {
+			c.sweepGDSF(sh)
+		} else {
+			c.sweep(sh)
+		}
 	}
 }
 
@@ -409,32 +490,76 @@ func (c *Cache) sweep(sh *cacheShard) {
 	}
 }
 
+// sweepGDSF evicts the lowest-priority entries of one shard until the
+// cache fits its budget (or the shard's ring is empty), advancing the
+// shard's aging baseline to each evicted priority — that is the "greedy
+// dual" aging: everything inserted or touched afterwards is priced above
+// the ghosts of what was dropped, so an entry survives repeated sweeps
+// only by being touched or by costing more to rebuild per byte than its
+// peers. Each pass scans the ring for the minimum; rings are per-shard
+// and budget-bounded, so the scan stays short.
+func (c *Cache) sweepGDSF(sh *cacheShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for len(sh.ring) > 0 && c.overBudget() {
+		min := 0
+		minPrio := math.Float64frombits(sh.ring[0].prio.Load())
+		for i := 1; i < len(sh.ring); i++ {
+			if p := math.Float64frombits(sh.ring[i].prio.Load()); p < minPrio {
+				min, minPrio = i, p
+			}
+		}
+		e := sh.ring[min]
+		sh.lbits.Store(math.Float64bits(minPrio))
+		last := len(sh.ring) - 1
+		sh.ring[min] = sh.ring[last]
+		sh.ring[last] = nil
+		sh.ring = sh.ring[:last]
+		delete(sh.parts, e.attrs)
+		c.entries.Add(-1)
+		c.bytesLive.Add(-e.bytes)
+		c.evictions.Add(1)
+	}
+}
+
 // compute assembles the partition for attrs blockwise: first within each
 // block (attribute by attribute, caching prefixes), then across blocks.
-// The bool reports whether the final entry was built by this call (vs
-// served warm off a racing install).
-func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (*Partition, bool) {
+// paid is the intersection bytes this call actually scanned — zero on a
+// fully warm chain — and each intermediate is priced for GDSF with the
+// cascade bytes paid up to and including its own build, so an entry whose
+// absence forces a deep rebuild (its parents were evicted too) carries
+// that full miss penalty, not just its final intersect. The bool reports
+// whether the final entry was built by this call (vs served warm off a
+// racing install).
+func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (p *Partition, paid int64, won bool) {
 	if attrs.IsEmpty() {
-		return c.materialize(attrs, func() *Partition { return FromAttrs(c.rel, attrs) })
+		p, won = c.materialize(attrs, func() (*Partition, int64) { return FromAttrs(c.rel, attrs), 0 })
+		return p, 0, won
 	}
 	var acc *Partition
 	var accSet bitset.AttrSet
-	won := false
 	for _, b := range c.blocks {
 		piece := attrs.Intersect(b)
 		if piece.IsEmpty() {
 			continue
 		}
-		pp, w := c.blockPartition(a, piece)
+		pp, piecePaid, w := c.blockPartition(a, piece)
+		paid += piecePaid
 		if acc == nil {
 			acc, accSet, won = pp, piece, w
 			continue
 		}
 		left := acc
+		chain := paid // cascade bytes owed before this step's own scan
+		var stepPaid int64
 		accSet = accSet.Union(piece)
-		acc, won = c.materialize(accSet, func() *Partition { return c.intersect(a, left, pp) })
+		acc, won = c.materialize(accSet, func() (*Partition, int64) {
+			stepPaid = scanBytes(left, pp)
+			return c.intersect(a, left, pp), chain + stepPaid
+		})
+		paid += stepPaid
 	}
-	return acc, won
+	return acc, paid, won
 }
 
 // computeEntropy is compute for callers that only need the entropy. It
@@ -446,9 +571,9 @@ func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (*Partition, bool) {
 // build, no publish, no eviction churn. Otherwise the staged counts are
 // finished into the cached partition, sharing the count pass.
 func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, bool) {
-	left, right, ok := c.finalOperands(a, attrs)
+	left, right, chainPaid, ok := c.finalOperands(a, attrs)
 	if !ok {
-		p, won := c.compute(a, attrs)
+		p, _, won := c.compute(a, attrs)
 		return p.Entropy(), won
 	}
 	c.countIntersect(left, right)
@@ -457,7 +582,9 @@ func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, bool) {
 		c.entropyOnly.Add(1)
 		return a.stagedEntropy(), true
 	}
-	p, won := c.materialize(attrs, a.finish)
+	p, won := c.materialize(attrs, func() (*Partition, int64) {
+		return a.finish(), chainPaid + scanBytes(left, right)
+	})
 	// When the install race was lost, finish never ran; drop the staged
 	// operand references either way so the arena cannot pin partitions
 	// past this evaluation.
@@ -467,11 +594,13 @@ func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, bool) {
 
 // finalOperands materializes the blockwise chain for attrs up to — but
 // not including — its final intersection, and returns that intersection's
-// two operands. ok is false when attrs is served without an intersection
-// of its own (empty or single-attribute sets).
-func (c *Cache) finalOperands(a *Arena, attrs bitset.AttrSet) (left, right *Partition, ok bool) {
+// two operands plus the bytes the chain walk actually scanned (the
+// cascade cost the final entry inherits under GDSF). ok is false when
+// attrs is served without an intersection of its own (empty or
+// single-attribute sets).
+func (c *Cache) finalOperands(a *Arena, attrs bitset.AttrSet) (left, right *Partition, paid int64, ok bool) {
 	if attrs.Len() <= 1 {
-		return nil, nil, false
+		return nil, nil, 0, false
 	}
 	var prefixSet, lastPiece bitset.AttrSet
 	pieces := 0
@@ -490,31 +619,38 @@ func (c *Cache) finalOperands(a *Arena, attrs bitset.AttrSet) (left, right *Part
 		// attribute's pinned partition.
 		hi := lastPiece.Max()
 		rest := lastPiece.Remove(hi)
-		left, _ = c.blockPartition(a, rest)
-		right, _ = c.blockPartition(a, bitset.Single(hi))
-		return left, right, true
+		var restPaid int64
+		left, restPaid, _ = c.blockPartition(a, rest)
+		right, _, _ = c.blockPartition(a, bitset.Single(hi))
+		return left, right, restPaid, true
 	}
 	// Across blocks the final step intersects the accumulated prefix of
 	// all pieces but the last with the last piece's block partition; the
 	// prefix follows the identical chain compute walks, so every
 	// intermediate it materializes is one compute would have cached too.
-	left, _ = c.compute(a, prefixSet)
-	right, _ = c.blockPartition(a, lastPiece)
-	return left, right, true
+	var leftPaid, rightPaid int64
+	left, leftPaid, _ = c.compute(a, prefixSet)
+	right, rightPaid, _ = c.blockPartition(a, lastPiece)
+	return left, right, leftPaid + rightPaid, true
 }
 
 // blockPartition computes the partition of a within-block attribute set by
 // peeling one attribute at a time, caching every intermediate subset. This
 // realizes the paper's per-block precomputation lazily: only subsets that
-// are actually requested get materialized. The bool mirrors materialize's.
-func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, bool) {
-	return c.materialize(piece, func() *Partition {
+// are actually requested get materialized. paid is the bytes this call's
+// peel actually scanned (cascade included, zero on a hit), which doubles
+// as the entry's GDSF cost; the bool mirrors materialize's.
+func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, int64, bool) {
+	var paid int64
+	p, won := c.materialize(piece, func() (*Partition, int64) {
 		hi := piece.Max()
 		rest := piece.Remove(hi)
-		restPart, _ := c.blockPartition(a, rest)
-		single, _ := c.blockPartition(a, bitset.Single(hi)) // pre-seeded, returns immediately
-		return c.intersect(a, restPart, single)
+		restPart, restPaid, _ := c.blockPartition(a, rest)
+		single, _, _ := c.blockPartition(a, bitset.Single(hi)) // pre-seeded, returns immediately
+		paid = restPaid + scanBytes(restPart, single)
+		return c.intersect(a, restPart, single), paid
 	})
+	return p, paid, won
 }
 
 func (c *Cache) intersect(a *Arena, p, q *Partition) *Partition {
@@ -522,19 +658,24 @@ func (c *Cache) intersect(a *Arena, p, q *Partition) *Partition {
 	return a.Intersect(p, q)
 }
 
-// countIntersect accounts one intersection: the call itself plus the
-// partition bytes its count pass scans — the engine iterates the smaller
-// operand's row ids (4 bytes each) and probes the other side's cluster
-// index per row (4 more), so 8 bytes per scanned row. Two lock-free
-// atomic adds; nothing here allocates, keeping the instrumented hot path
-// inside the 0 B/op gates.
-func (c *Cache) countIntersect(p, q *Partition) {
+// scanBytes is the partition bytes one intersection's count pass scans:
+// the engine iterates the smaller operand's row ids (4 bytes each) and
+// probes the other side's cluster index per row (4 more), so 8 bytes per
+// scanned row. It doubles as the GDSF recompute cost of the result.
+func scanBytes(p, q *Partition) int64 {
 	n := p.Size()
 	if qs := q.Size(); qs < n {
 		n = qs
 	}
+	return 8 * int64(n)
+}
+
+// countIntersect accounts one intersection: the call itself plus the
+// bytes its count pass scans. Two lock-free atomic adds; nothing here
+// allocates, keeping the instrumented hot path inside the 0 B/op gates.
+func (c *Cache) countIntersect(p, q *Partition) {
 	c.intersects.Add(1)
-	c.bytesTouched.Add(8 * int64(n))
+	c.bytesTouched.Add(scanBytes(p, q))
 }
 
 // shardEntries returns the live entry count per shard — introspection for

@@ -1,0 +1,186 @@
+package pli
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// costContrastRelation builds a relation engineered so two attribute
+// pairs yield partitions at opposite ends of the cost/size spectrum:
+//
+//   - {0, 1}: the columns pair rows with a one-row phase shift, so the
+//     intersection strips to all singletons — a tiny resident partition
+//     whose build nonetheless scanned both full operands (expensive per
+//     byte kept).
+//   - {2, 3}: two coarse groupings whose intersection keeps every row in
+//     16 clusters — a partition about twice the size, built by the same
+//     full-operand scan (cheap per byte kept).
+func costContrastRelation(t *testing.T, n int) *relation.Relation {
+	t.Helper()
+	cols := make([][]relation.Code, 4)
+	for j := range cols {
+		cols[j] = make([]relation.Code, n)
+	}
+	for i := 0; i < n; i++ {
+		cols[0][i] = relation.Code(i / 2)
+		cols[1][i] = relation.Code(((i + n - 1) % n) / 2)
+		cols[2][i] = relation.Code(i % 4)
+		cols[3][i] = relation.Code(i / (n / 4))
+	}
+	r, err := relation.FromCodes([]string{"A", "B", "C", "D"}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestGDSFKeepsHighCostPartition is the head-to-head of the two eviction
+// policies on the workload GDSF exists for: a budget that can hold either
+// of two partitions but not both, where the smaller one was the more
+// expensive to build per byte it occupies. The clock, blind to cost,
+// evicts by recency and drops the expensive partition; GDSF prices it
+// above its cheap-per-byte neighbor and drops the neighbor instead.
+func TestGDSFKeepsHighCostPartition(t *testing.T) {
+	const n = 4096
+	r := costContrastRelation(t, n)
+	expensive := bitset.Of(0, 1)
+	cheap := bitset.Of(2, 3)
+	pe, pc := FromAttrs(r, expensive), FromAttrs(r, cheap)
+	budget := pc.SizeBytes()
+	if pe.SizeBytes() >= budget {
+		t.Fatalf("relation does not contrast sizes: expensive %d B >= cheap %d B",
+			pe.SizeBytes(), budget)
+	}
+
+	// Shards: 1 so both entries share an eviction ring — the policies only
+	// differ in which ring-mate they sacrifice.
+	run := func(policy Policy) (survived bool, st Stats) {
+		c := NewCache(r, Config{MaxBytes: budget, Shards: 1, Policy: policy})
+		first := c.Get(expensive)
+		c.Get(cheap)
+		again := c.Get(expensive)
+		return again == first, c.Stats()
+	}
+
+	if survived, st := run(PolicyGDSF); !survived {
+		t.Errorf("gdsf evicted the high-cost partition under the squeeze: %+v", st)
+	} else if st.Evictions == 0 {
+		t.Errorf("gdsf squeeze forced no evictions: %+v", st)
+	}
+	if survived, st := run(PolicyClock); survived {
+		t.Errorf("clock kept the high-cost partition — the policies no longer contrast: %+v", st)
+	} else if st.Evictions == 0 {
+		t.Errorf("clock squeeze forced no evictions: %+v", st)
+	}
+
+	// Either way the partitions served after the squeeze stay exact.
+	c := NewCache(r, Config{MaxBytes: budget, Shards: 1, Policy: PolicyGDSF})
+	c.Get(expensive)
+	c.Get(cheap)
+	if got := c.Get(cheap); !Equal(got, pc) {
+		t.Fatal("recomputed partition differs from reference after gdsf eviction")
+	}
+}
+
+// TestGDSFRespectsByteBudget drives the GDSF policy through the same
+// contract TestEvictionRespectsByteBudget pins for the clock: evictions
+// happen, resting occupancy never exceeds the budget, and every partition
+// served after eviction matches the reference construction.
+func TestGDSFRespectsByteBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	r := datagen.Uniform(600, 10, 4, 11)
+	sets := randomSets(rng, 10, 40)
+	free := NewCache(r, Config{BlockSize: 4})
+	getSets(free, sets)
+	footprint := free.Stats().BytesLive
+	if footprint <= 0 {
+		t.Fatalf("unlimited run retained nothing (BytesLive=%d)", footprint)
+	}
+
+	budget := footprint / 4
+	c := NewCache(r, Config{BlockSize: 4, MaxBytes: budget, Policy: PolicyGDSF})
+	for round := 0; round < 3; round++ {
+		for _, s := range sets {
+			got := c.Get(s)
+			want := FromAttrs(r, s)
+			if !Equal(got, want) {
+				t.Fatalf("round %d: partition for %v differs from reference after eviction", round, s)
+			}
+			if live := c.Stats().BytesLive; live > budget {
+				t.Fatalf("round %d: BytesLive %d exceeds budget %d at rest", round, live, budget)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("budget %d of footprint %d forced no evictions: %+v", budget, footprint, st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("cache emptied completely: %+v", st)
+	}
+}
+
+// TestGDSFConcurrentEviction hammers a tightly budgeted GDSF cache from
+// many goroutines: under -race this covers the lock-free touch/reprice
+// path interleaving with publish and the min-priority sweep, and every
+// served partition must still match the reference.
+func TestGDSFConcurrentEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	r := datagen.Uniform(800, 8, 4, 31)
+	sets := randomSets(rng, 8, 24)
+	want := make(map[bitset.AttrSet]*Partition, len(sets))
+	for _, s := range sets {
+		want[s] = FromAttrs(r, s)
+	}
+	free := NewCache(r, Config{BlockSize: 3})
+	getSets(free, sets)
+	budget := free.Stats().BytesLive / 5
+	if budget < 1 {
+		budget = 1
+	}
+
+	c := NewCache(r, Config{BlockSize: 3, MaxBytes: budget, Shards: 4, Policy: PolicyGDSF})
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4*len(sets); i++ {
+				s := sets[(g*5+i)%len(sets)]
+				if got := c.Get(s); !Equal(got, want[s]) {
+					t.Errorf("partition for %v differs from reference under gdsf churn", s)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.enforceBudget(&c.shards[0])
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("concurrent churn under budget %d forced no evictions: %+v", budget, st)
+	}
+	if st.BytesLive > budget {
+		t.Fatalf("BytesLive %d exceeds budget %d at rest", st.BytesLive, budget)
+	}
+}
+
+// TestCachePolicyValidation: the config rejects unknown policies loudly
+// and defaults the empty string to the clock.
+func TestCachePolicyValidation(t *testing.T) {
+	r := datagen.Uniform(50, 4, 3, 19)
+	if c := NewCache(r, Config{}); c.cfg.Policy != PolicyClock {
+		t.Fatalf("empty policy resolved to %q, want clock", c.cfg.Policy)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy did not panic")
+		}
+	}()
+	NewCache(r, Config{Policy: "lru"})
+}

@@ -235,11 +235,14 @@ func memorySnapshot(sess *maimon.Session) *MemoryStatus {
 	}
 	st := sess.Stats()
 	return &MemoryStatus{
-		BytesLive:   st.PLIStats.BytesLive,
-		Evictions:   st.PLIStats.Evictions,
-		PLIEntries:  st.PLIStats.Entries,
-		HCached:     st.HCached,
-		EntropyOnly: st.PLIStats.EntropyOnly,
+		BytesLive:     st.PLIStats.BytesLive,
+		BytesPinned:   st.PLIStats.BytesPinned,
+		Evictions:     st.PLIStats.Evictions,
+		PLIEntries:    st.PLIStats.Entries,
+		HCached:       st.HCached,
+		EntropyOnly:   st.PLIStats.EntropyOnly,
+		MemoBytes:     st.MemoBytes,
+		MemoEvictions: st.MemoEvictions,
 	}
 }
 

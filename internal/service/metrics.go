@@ -189,6 +189,15 @@ func (t *Telemetry) bindManager(m *Manager) {
 	r.GaugeFunc("maimon_pli_bytes_live",
 		"Bytes retained by evictable PLI partitions across all live sessions.",
 		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.BytesLive) }))
+	r.GaugeFunc("maimon_pli_bytes_pinned",
+		"Bytes retained by pinned single-attribute PLI partitions (outside the budget) across all live sessions.",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.BytesPinned) }))
+	r.GaugeFunc("maimond_entropy_memo_bytes",
+		"Bytes retained by the entropy memos across all live sessions (-entropy-bytes bounds each session's).",
+		sum(func(s maimon.Stats) float64 { return float64(s.MemoBytes) }))
+	r.CounterFunc("maimond_entropy_memo_evictions_total",
+		"Entropy-memo entries evicted under -entropy-bytes across all live sessions (resets when a dataset is removed).",
+		sum(func(s maimon.Stats) float64 { return float64(s.MemoEvictions) }))
 	r.GaugeFunc("maimon_pli_bytes_touched",
 		"Partition bytes scanned by the intersection engine across all live sessions.",
 		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.BytesTouched) }))

@@ -122,15 +122,24 @@ type Progress struct {
 // -cache-bytes budget, evictions counts partitions dropped to stay
 // inside it (each one a future recompute, never a changed result).
 type MemoryStatus struct {
-	BytesLive  int64 `json:"bytes_live"`
-	Evictions  int   `json:"evictions"`
-	PLIEntries int   `json:"pli_entries"`
-	HCached    int   `json:"h_cached"`
+	BytesLive int64 `json:"bytes_live"`
+	// BytesPinned is the weight of the pinned single-attribute
+	// partitions, resident for the session's lifetime and outside the
+	// budget; bytes_live + bytes_pinned is the cache's true residency.
+	BytesPinned int64 `json:"bytes_pinned"`
+	Evictions   int   `json:"evictions"`
+	PLIEntries  int   `json:"pli_entries"`
+	HCached     int   `json:"h_cached"`
 	// EntropyOnly counts intersections the engine answered as streaming
 	// counts without materializing the partition — the budget-pressure
 	// path: a partition too large for the budget never enters the cache,
 	// its entropy is computed on the fly instead.
 	EntropyOnly int `json:"entropy_only"`
+	// MemoBytes/MemoEvictions describe the entropy memo above the PLI
+	// cache: its accounted residency and the entries dropped to stay
+	// inside the service's -entropy-bytes budget.
+	MemoBytes     int64 `json:"memo_bytes"`
+	MemoEvictions int   `json:"memo_evictions"`
 }
 
 // DistStatus is the distributed-execution view of a job running on a

@@ -26,8 +26,9 @@ type Progress = core.Progress
 // PLIConfig tunes the PLI partition cache behind a session's entropy
 // oracle: BlockSize is the paper's L (Sec. 6.3), MaxBytes is the memory
 // budget eviction enforces (0 = unlimited; WithMemoryBudget is the
-// shorthand), Shards overrides the cache's shard count, and MaxEntries
-// is the deprecated entry-count cap.
+// shorthand), Policy picks the eviction policy (WithEvictionPolicy is
+// the shorthand), Shards overrides the cache's shard count, and
+// MaxEntries is the deprecated entry-count cap.
 type PLIConfig = pli.Config
 
 // MineTrace is the stage-level record of one mining call: one phase per
@@ -66,15 +67,16 @@ func DefaultPLIConfig() PLIConfig { return pli.DefaultConfig() }
 // config is the resolved option set. A Session keeps the Open-time config
 // as its per-call defaults; each mining call starts from a copy.
 type config struct {
-	epsilon    float64
-	timeout    time.Duration
-	maxSchemes int
-	pruning    bool
-	workers    int // 0 = GOMAXPROCS (the WithWorkers default)
-	pairs      [][2]int
-	pliCfg     PLIConfig
-	progress   func(Progress)
-	trace      *MineTrace
+	epsilon       float64
+	timeout       time.Duration
+	maxSchemes    int
+	pruning       bool
+	workers       int // 0 = GOMAXPROCS (the WithWorkers default)
+	pairs         [][2]int
+	pliCfg        PLIConfig
+	entropyBudget int64 // entropy-memo byte budget; 0 = unlimited
+	progress      func(Progress)
+	trace         *MineTrace
 }
 
 func defaultSessionConfig() config {
@@ -136,17 +138,54 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 func WithPLIConfig(cfg PLIConfig) Option { return func(c *config) { c.pliCfg = cfg } }
 
 // WithMemoryBudget bounds the bytes the session's PLI partition cache
-// retains (the entropy memo itself is 8 bytes per set and is not
-// governed). When mining pushes the cache past the budget, cold
-// partitions are evicted — sharded clock eviction, single-attribute
+// retains (the entropy memo is governed separately — see
+// WithEntropyBudget). When mining pushes the cache past the budget, cold
+// partitions are evicted — per WithEvictionPolicy, single-attribute
 // partitions always pinned — and recomputed if needed again, so a budget
 // trades recomputation for residency and never changes mining results: a
 // run under any budget is byte-identical to an unlimited one. bytes <= 0
 // means unlimited (the default). Honored by Open only, like
 // WithPLIConfig; Session.Stats reports the live occupancy
-// (PLIStats.BytesLive) and the eviction count (PLIStats.Evictions).
+// (PLIStats.BytesLive, with pinned bytes in PLIStats.BytesPinned) and
+// the eviction count (PLIStats.Evictions).
 func WithMemoryBudget(bytes int64) Option {
 	return func(c *config) { c.pliCfg.MaxBytes = bytes }
+}
+
+// EvictionPolicy selects how a session's PLI cache picks eviction
+// victims under WithMemoryBudget: PolicyClock (recency only, the
+// default) or PolicyGDSF (cost-aware — an entry's priority weighs what
+// rebuilding it would cost against the bytes it occupies, so a cheap
+// huge partition goes before an expensive small one).
+type EvictionPolicy = pli.Policy
+
+const (
+	// PolicyClock is sharded second-chance eviction, the default.
+	PolicyClock = pli.PolicyClock
+	// PolicyGDSF is Greedy-Dual-Size-Frequency-style cost-aware eviction.
+	PolicyGDSF = pli.PolicyGDSF
+)
+
+// WithEvictionPolicy selects the PLI cache's eviction policy. Like every
+// budget knob it changes cost, never results: mining output is
+// byte-identical under either policy, any budget. Honored by Open only.
+func WithEvictionPolicy(p EvictionPolicy) Option {
+	return func(c *config) { c.pliCfg.Policy = p }
+}
+
+// WithEntropyBudget bounds the bytes the session's entropy memo retains.
+// The memo caches one 8-byte entropy per distinct attribute set ever
+// evaluated; across long ε sweeps over wide relations it becomes the
+// dominant resident weight, so past the budget the memo evicts its
+// lowest-priority entries (cost-aware, like PolicyGDSF: wider sets cost
+// more to recompute and survive longer) and recomputes them from the PLI
+// cache on the next read. Results are byte-identical under any budget.
+// bytes <= 0 means unlimited (the default). Honored by Open only;
+// Session.Stats reports the memo occupancy (MemoBytes) and eviction
+// count (MemoEvictions). Sessions from the deprecated one-shot wrappers
+// (unshared oracles) ignore it.
+func WithEntropyBudget(bytes int64) Option {
+	return func(c *config) { c.entropyBudget = bytes }
 }
 
 // WithProgress installs a callback receiving structured Progress events
@@ -236,6 +275,7 @@ func open(r *Relation, shared bool, opts []Option) (*Session, error) {
 	var oracle *entropy.Oracle
 	if shared {
 		oracle = entropy.NewShared(r, cfg.pliCfg)
+		oracle.SetMemoBudget(cfg.entropyBudget)
 	} else {
 		// Single-goroutine session: pin the pipeline to serial so the
 		// unlocked oracle is never shared across worker miners (the core

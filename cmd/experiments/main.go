@@ -200,13 +200,17 @@ func writeCacheJSON(cfg experiments.Config, path string) error {
 	return writeRowsJSON(path, experiments.CacheBench, cfg)
 }
 
-// writeDistJSON runs the distributed-mining benchmark — an in-process
-// maimond worker fleet mined through the pair-sharding coordinator at
-// fleet sizes 1..3 — and records its machine-readable rows, {dataset,
-// workers, shards, wall_ms, local_ms, speedup, dispatches, retries,
-// hedges, bytes_merged, mvds, gomaxprocs, numcpu}, so the coordinator's
-// overhead against a warm local mine is tracked across commits
-// (BENCH_dist.json at the repo root).
+// writeDistJSON runs the distributed-mining benchmark — cold in-process
+// maimond worker fleets mined through the pair-sharding coordinator at
+// fleet sizes 1..3, each cell with the entropy-memo exchange on and off
+// — and records its machine-readable rows, {dataset, workers,
+// memo_exchange, shards, wall_ms, local_ms, speedup, dispatches,
+// retries, hedges, bytes_merged, h_calls, h_computed, memo_seeded,
+// memo_merged, dup_avoided, mvds, gomaxprocs, numcpu}, so both the
+// coordinator's overhead against a warm local mine and the duplicate
+// entropy computes the exchange eliminates are tracked across commits
+// (BENCH_dist.json at the repo root). The run fails unless the exchange
+// strictly reduces fresh H computes at the largest fleet.
 func writeDistJSON(cfg experiments.Config, path string) error {
 	return writeRowsJSON(path, distbench.Run, cfg)
 }

@@ -1,0 +1,290 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	maimon "repro"
+	"repro/internal/dist"
+	"repro/internal/dist/disttest"
+	"repro/internal/relation"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// schemesJSON mines phase 2 locally over an already-merged Mε and
+// returns the schemes as canonical JSON — the byte-identity witness for
+// the exchange determinism matrix (phase 2 is a deterministic function
+// of the MVD set, so equal JSON here means equal schemes end to end).
+func schemesJSON(t *testing.T, r *relation.Relation, mvds []maimon.MVD) []byte {
+	t.Helper()
+	s, err := maimon.Open(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes, err := s.SchemesFromMVDs(context.Background(), mvds, maimon.WithEpsilon(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestDistributedMemoExchangeDeterminismWorkers is the exchange's
+// determinism matrix: {1,2,3}-worker fleets × memo exchange {on,off} ×
+// worker entropy-memo budget {unlimited, ⅛ of a single-node mine's memo}
+// must all merge to the single-node MVD result and byte-identical
+// schemes. Seeding changes where entropies are computed — under a tight
+// budget seeds are also evicted and recomputed — and none of it may be
+// visible in any mined output. (The name matches both the race-enabled
+// and the memory-pressure CI test filters.)
+func TestDistributedMemoExchangeDeterminismWorkers(t *testing.T) {
+	all := testRelations(t)
+	rels := map[string]*relation.Relation{"planted": all["planted"], "nursery": all["nursery"]}
+	const eps = 0.1
+
+	type golden struct {
+		res     *maimon.MVDResult
+		schemes []byte
+		memoB   int64
+	}
+	want := make(map[string]golden)
+	for name, r := range rels {
+		s, err := maimon.Open(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.MineMVDs(context.Background(), maimon.WithEpsilon(eps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = golden{res: res, schemes: schemesJSON(t, r, res.MVDs), memoB: s.Stats().MemoBytes}
+	}
+
+	for _, n := range []int{1, 2, 3} {
+		for _, exchangeOff := range []bool{false, true} {
+			for _, starve := range []bool{false, true} {
+				for name, r := range rels {
+					label := fmt.Sprintf("workers=%d exchange_off=%v starved=%v %s", n, exchangeOff, starve, name)
+					var opts []maimon.Option
+					if starve {
+						opts = append(opts, maimon.WithEntropyBudget(want[name].memoB/8))
+					}
+					// Fresh, cold fleets per cell: a warm worker memo would
+					// mask what seeding leaves to compute.
+					urls := make([]string, n)
+					for i := range urls {
+						ts, _ := newWorkerOpts(t, rels, nil, opts...)
+						urls[i] = ts.URL
+					}
+					coord := newCoordinator(t, urls, func(c *dist.Config) {
+						c.MemoExchangeOff = exchangeOff
+					})
+					got, rep, err := coord.MineMVDs(context.Background(), dist.Spec{
+						Dataset: name, Epsilon: eps, ShardWorkers: 2,
+						NumAttrs: r.NumCols(), Rows: r.NumRows(),
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if exchangeOff && (rep.MemoSeeded != 0 || rep.MemoExported != 0 || rep.MemoMerged != 0 || rep.DuplicateHAvoided != 0) {
+						t.Fatalf("%s: exchange off but report shows traffic: %+v", label, rep)
+					}
+					if !exchangeOff && rep.MemoMerged == 0 {
+						t.Fatalf("%s: exchange on but nothing merged: %+v", label, rep)
+					}
+					requireSameResult(t, label, got, want[name].res)
+					if sj := schemesJSON(t, r, got.MVDs); !bytes.Equal(sj, want[name].schemes) {
+						t.Fatalf("%s: schemes differ from single-node", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMemoExchangeSeedHitsAcrossWorkers pins the exchange actually
+// saving work across workers: with dispatches serialized (MaxInflight 1)
+// on a cold two-worker fleet, later shards land on the other worker
+// seeded with earlier deltas, and the workers report reads served by
+// those seeds — entropies a worker never had to compute because its
+// sibling already did.
+func TestMemoExchangeSeedHitsAcrossWorkers(t *testing.T) {
+	rels := map[string]*relation.Relation{"planted": testRelations(t)["planted"]}
+	r := rels["planted"]
+	w1, _ := newWorker(t, rels, nil)
+	w2, _ := newWorker(t, rels, nil)
+	coord := newCoordinator(t, []string{w1.URL, w2.URL}, func(c *dist.Config) {
+		c.MaxInflight = 1 // serialize: every dispatch sees all earlier deltas
+	})
+	want := singleNode(t, r, 0.1)
+	got, rep, err := coord.MineMVDs(context.Background(), dist.Spec{
+		Dataset: "planted", Epsilon: 0.1, NumAttrs: r.NumCols(), Rows: r.NumRows(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "planted", got, want)
+	if rep.MemoMerged == 0 || rep.MemoSeeded == 0 {
+		t.Fatalf("serialized cold fleet exchanged nothing: %+v", rep)
+	}
+	if rep.DuplicateHAvoided == 0 {
+		t.Fatalf("no cross-worker seed hits — the exchange saved no duplicate computes: %+v", rep)
+	}
+}
+
+// seedSpy wraps a worker handler and records the memo-seed size of each
+// shard request, so tests can assert which dispatches were seeded.
+type seedSpy struct {
+	backend http.Handler
+
+	mu    sync.Mutex
+	seeds []int
+}
+
+func (s *seedSpy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/shards" {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req wire.ShardRequest
+		_ = json.Unmarshal(body, &req)
+		s.mu.Lock()
+		s.seeds = append(s.seeds, len(req.MemoSeed))
+		s.mu.Unlock()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	s.backend.ServeHTTP(w, r)
+}
+
+func (s *seedSpy) seedSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.seeds...)
+}
+
+// TestMemoExchangeRetryReseededWorkers pins re-seeding on the retry
+// path: a shard whose first attempt 500s is re-dispatched carrying the
+// memo merged from the shards that already completed, and the merged
+// result stays identical to single-node.
+func TestMemoExchangeRetryReseededWorkers(t *testing.T) {
+	rels := map[string]*relation.Relation{"planted": testRelations(t)["planted"]}
+	r := rels["planted"]
+
+	reg := service.NewRegistry()
+	if _, err := reg.Add("planted", r); err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.NewManager(reg, service.Config{Workers: 2, MineWorkers: 2})
+	spy := &seedSpy{backend: service.NewServer(mgr)}
+	// Spy under the fault proxy: a 500 is injected before the backend,
+	// so the failed attempt itself never reaches the spy.
+	proxy := disttest.New(spy, disttest.FailFirst(1, disttest.Fail500))
+	ts := httptest.NewServer(proxy)
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+
+	coord := newCoordinator(t, []string{ts.URL}, func(c *dist.Config) {
+		c.ShardsPerWorker = 3
+		c.MaxInflight = 1 // serialize so the retry is the last dispatch
+		c.Sleep = func(context.Context, time.Duration) error { return nil }
+	})
+	want := singleNode(t, r, 0.1)
+	got, rep, err := coord.MineMVDs(context.Background(), dist.Spec{
+		Dataset: "planted", Epsilon: 0.1, NumAttrs: r.NumCols(), Rows: r.NumRows(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "planted", got, want)
+	if rep.Retries != 1 {
+		t.Fatalf("want exactly 1 retry, got %+v", rep)
+	}
+	sizes := spy.seedSizes()
+	if len(sizes) == 0 {
+		t.Fatal("spy saw no shard requests")
+	}
+	// The failed first attempt had an empty memo to draw from; its retry
+	// is dispatched after other shards completed, so it must be seeded.
+	if last := sizes[len(sizes)-1]; last == 0 {
+		t.Fatalf("retried shard dispatched unseeded (seed sizes %v)", sizes)
+	}
+}
+
+// TestMemoExchangeHedgeNoDoubleMergeWorkers: when a hedged shard's
+// sibling also completes (a slow worker, not a dead one), both responses
+// carry overlapping deltas; the idempotent merge must keep MemoMerged at
+// the distinct-entry count — never above what was exported — and the
+// result identical to single-node.
+func TestMemoExchangeHedgeNoDoubleMergeWorkers(t *testing.T) {
+	rels := map[string]*relation.Relation{"planted": testRelations(t)["planted"]}
+	r := rels["planted"]
+	fast, _ := newWorker(t, rels, nil)
+	// The straggler completes (75 ms late) rather than hanging, so hedge
+	// losers finish and their deltas hit the merge path too.
+	slow, _ := newWorker(t, rels, func(int) disttest.Delayed {
+		return disttest.Delayed{Sleep: 75 * time.Millisecond, Then: disttest.Pass}
+	})
+	coord := newCoordinator(t, []string{fast.URL, slow.URL}, func(c *dist.Config) {
+		c.ShardsPerWorker = 3
+		c.HedgeQuantile = 0.5
+		c.HedgeMinSamples = 1
+		c.HedgeMinDelay = time.Millisecond
+	})
+	want := singleNode(t, r, 0.1)
+	got, rep, err := coord.MineMVDs(context.Background(), dist.Spec{
+		Dataset: "planted", Epsilon: 0.1, NumAttrs: r.NumCols(), Rows: r.NumRows(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "planted", got, want)
+	if rep.MemoMerged == 0 {
+		t.Fatalf("exchange merged nothing: %+v", rep)
+	}
+	if rep.MemoMerged > rep.MemoExported {
+		t.Fatalf("merged %d entries but only %d were exported — double merge: %+v",
+			rep.MemoMerged, rep.MemoExported, rep)
+	}
+}
+
+// TestMemoCorruptDeltaRetriedWorkers: a response whose memo delta fails
+// validation (duplicate fingerprints, negative H) is a torn response —
+// retried, never merged — and the eventual result is still identical to
+// single-node, proving the corrupt values never reached any memo.
+func TestMemoCorruptDeltaRetriedWorkers(t *testing.T) {
+	rels := map[string]*relation.Relation{"planted": testRelations(t)["planted"]}
+	r := rels["planted"]
+	ts, _ := newWorker(t, rels, disttest.FailFirst(1, disttest.CorruptDelta))
+	coord := newCoordinator(t, []string{ts.URL}, func(c *dist.Config) {
+		c.ShardsPerWorker = 2
+		c.MaxInflight = 1
+		c.Sleep = func(context.Context, time.Duration) error { return nil }
+	})
+	want := singleNode(t, r, 0.1)
+	got, rep, err := coord.MineMVDs(context.Background(), dist.Spec{
+		Dataset: "planted", Epsilon: 0.1, NumAttrs: r.NumCols(), Rows: r.NumRows(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "planted", got, want)
+	if rep.Retries < 1 {
+		t.Fatalf("corrupt delta was not retried: %+v", rep)
+	}
+}

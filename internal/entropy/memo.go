@@ -1,0 +1,193 @@
+package entropy
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+// This file is the oracle's half of the distributed memo exchange:
+// snapshot export/import over the sharded memo plus a recorder that
+// captures the entropies one stretch of mining actually computed. The
+// wire protocol and seeding policy live in internal/wire and
+// internal/dist; everything here preserves the oracle invariants —
+// budget accounting, single-flight, determinism (an entropy is a pure
+// function of the relation, so importing a correct value changes what
+// is computed where, never any mined result).
+
+// MemoEntry is one exportable memoized entropy: an attribute set and
+// its H value in bits — the unit the distributed tier ships between
+// workers.
+type MemoEntry struct {
+	Attrs bitset.AttrSet
+	H     float64
+}
+
+// sortHottest orders memo entries for a byte-capped export: ascending
+// set width first — the lattice walk of the paper's §6 re-reads
+// low-arity sets the most, so they save the most duplicate computes per
+// byte shipped — then ascending set, so equal inputs always export
+// identically.
+func sortHottest(entries []MemoEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		wi, wj := entries[i].Attrs.Len(), entries[j].Attrs.Len()
+		if wi != wj {
+			return wi < wj
+		}
+		return entries[i].Attrs < entries[j].Attrs
+	})
+}
+
+// ImportMemo publishes externally computed entropies into the shared
+// memo: resident entries and sets with an in-flight compute are skipped
+// (dedup — re-importing is idempotent), fresh ones land through the
+// normal byte accounting and can trigger the same cost-aware eviction a
+// publish does, so SetMemoBudget semantics hold exactly. Each imported
+// entry is marked seeded; its first read counts into Stats.MemoSeedHits
+// as one duplicate compute this oracle skipped. Shared oracles only —
+// on an unshared oracle ImportMemo is a no-op. The caller vouches for
+// the values (the wire layer validates them); a wrong H here would
+// corrupt results, exactly like a wrong H from a worker's own compute.
+func (o *Oracle) ImportMemo(entries []MemoEntry) (added, dup int) {
+	if !o.shared {
+		return 0, 0
+	}
+	for _, e := range entries {
+		if e.Attrs.IsEmpty() {
+			dup++
+			continue
+		}
+		sh := o.memoShardOf(e.Attrs)
+		sh.mu.Lock()
+		_, resident := sh.memo[e.Attrs]
+		_, computing := sh.inflight[e.Attrs]
+		if resident || computing {
+			sh.mu.Unlock()
+			dup++
+			continue
+		}
+		sh.memo[e.Attrs] = memoVal{h: e.H, prio: sh.l + memoCost(e.Attrs), seeded: true}
+		sh.memoBytes += memoEntryBytes
+		if o.shardBudget > 0 && sh.memoBytes > o.shardBudget {
+			evictMemo(sh, o.shardBudget)
+		}
+		sh.mu.Unlock()
+		added++
+	}
+	return added, dup
+}
+
+// ExportMemo snapshots up to limit resident memo entries, hottest first
+// (sortHottest). limit < 0 exports everything, 0 nothing. Shared
+// oracles only; returns nil otherwise.
+func (o *Oracle) ExportMemo(limit int) []MemoEntry {
+	if !o.shared || limit == 0 {
+		return nil
+	}
+	var out []MemoEntry
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		for a, v := range sh.memo {
+			out = append(out, MemoEntry{Attrs: a, H: v.h})
+		}
+		sh.mu.Unlock()
+	}
+	sortHottest(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// MemoRecorder observes the entropies an oracle computes — memo misses
+// only; cached serves and imported seeds are never recorded — from
+// Record until Close. The distributed worker wraps each shard mine in
+// one, so a shard response's memo delta carries the fresh work of that
+// mine and echoes nothing it was seeded with. Concurrent mines on the
+// same session also land in an attached recorder; their entries are
+// equally valid, so the delta only gets more useful.
+type MemoRecorder struct {
+	o  *Oracle
+	mu sync.Mutex
+	m  map[bitset.AttrSet]float64
+}
+
+// Record attaches a fresh recorder to the oracle. On an unshared oracle
+// the recorder is inert — Export returns nothing. Detach with Close.
+func (o *Oracle) Record() *MemoRecorder {
+	rec := &MemoRecorder{o: o, m: make(map[bitset.AttrSet]float64)}
+	if !o.shared {
+		return rec
+	}
+	o.recMu.Lock()
+	var next []*MemoRecorder
+	if old := o.recs.Load(); old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, rec)
+	o.recs.Store(&next)
+	o.recMu.Unlock()
+	return rec
+}
+
+// record feeds one fresh compute to the attached recorders. The common
+// case — none attached — is a single atomic load on the miss path,
+// which already paid for a partition build.
+func (o *Oracle) record(attrs bitset.AttrSet, h float64) {
+	rp := o.recs.Load()
+	if rp == nil {
+		return
+	}
+	for _, rec := range *rp {
+		rec.mu.Lock()
+		rec.m[attrs] = h
+		rec.mu.Unlock()
+	}
+}
+
+// Close detaches the recorder; what it recorded stays exportable.
+// Closing twice, or closing an inert recorder, is a no-op.
+func (r *MemoRecorder) Close() {
+	if r.o == nil || !r.o.shared {
+		return
+	}
+	o := r.o
+	o.recMu.Lock()
+	if old := o.recs.Load(); old != nil {
+		next := make([]*MemoRecorder, 0, len(*old))
+		for _, rec := range *old {
+			if rec != r {
+				next = append(next, rec)
+			}
+		}
+		if len(next) == 0 {
+			o.recs.Store(nil)
+		} else {
+			o.recs.Store(&next)
+		}
+	}
+	o.recMu.Unlock()
+}
+
+// Export returns up to limit recorded entries, hottest first
+// (sortHottest), so a byte-capped delta keeps the entries most likely
+// to save a recompute elsewhere. limit < 0 returns all, 0 none. Safe
+// while the recorder is still attached.
+func (r *MemoRecorder) Export(limit int) []MemoEntry {
+	if limit == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]MemoEntry, 0, len(r.m))
+	for a, h := range r.m {
+		out = append(out, MemoEntry{Attrs: a, H: h})
+	}
+	r.mu.Unlock()
+	sortHottest(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	maimon "repro"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/entropy"
@@ -48,34 +49,93 @@ func (r *report) String() string { return r.b.String() }
 // run". On a small machine the fleet is in-process and shares the CPUs,
 // so Speedup < 1 is expected there — GoMaxProcs and NumCPU make that
 // machine caveat machine-readable.
+//
+// Each (dataset, fleet) cell is measured twice — memo exchange on and
+// off — on a cold fleet. HCalls / HComputed are summed across the
+// fleet's sessions after the cold iteration: HCalls is invariant under
+// seeding (every read still happens), HComputed is the fresh entropy
+// computes, the work the exchange exists to eliminate.
 type Row struct {
-	Dataset     string  `json:"dataset"`
-	Workers     int     `json:"workers"`
-	Shards      int     `json:"shards"`
-	WallMS      float64 `json:"wall_ms"`
-	LocalMS     float64 `json:"local_ms"`
-	Speedup     float64 `json:"speedup"`
-	Dispatches  int     `json:"dispatches"`
-	Retries     int     `json:"retries"`
-	Hedges      int     `json:"hedges"`
-	BytesMerged int64   `json:"bytes_merged"`
-	MVDs        int     `json:"mvds"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	NumCPU      int     `json:"numcpu"`
+	Dataset      string  `json:"dataset"`
+	Workers      int     `json:"workers"`
+	MemoExchange bool    `json:"memo_exchange"`
+	Shards       int     `json:"shards"`
+	WallMS       float64 `json:"wall_ms"`
+	LocalMS      float64 `json:"local_ms"`
+	Speedup      float64 `json:"speedup"`
+	Dispatches   int     `json:"dispatches"`
+	Retries      int     `json:"retries"`
+	Hedges       int     `json:"hedges"`
+	BytesMerged  int64   `json:"bytes_merged"`
+	HCalls       int64   `json:"h_calls"`
+	HComputed    int64   `json:"h_computed"`
+	MemoSeeded   int     `json:"memo_seeded"`
+	MemoMerged   int     `json:"memo_merged"`
+	DupAvoided   int     `json:"dup_avoided"`
+	MVDs         int     `json:"mvds"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"numcpu"`
 }
 
 // distBenchFleet is the worker-count ladder measured per dataset.
 var distBenchFleet = []int{1, 2, 3}
 
-// Run measures the distributed mining tier end to end: an
-// in-process fleet of maimond worker services (real HTTP servers, real
-// JSON shard RPCs) is booted with the benchmark datasets registered,
-// then each dataset's phase 1 is mined through a dist.Coordinator at
-// increasing fleet sizes and compared against the warm single-node mine.
-// Every distributed run must reproduce the single-node MVD count — the
-// tier's determinism contract — and the rows record the fan-out
-// accounting (dispatches, retries, hedges, merged bytes) alongside wall
-// time.
+// fleet boots n cold in-process workers registering just one dataset and
+// returns their URLs plus the registries for post-run session stats.
+type fleet struct {
+	urls []string
+	regs []*service.Registry
+	halt []func()
+}
+
+func bootFleet(n int, name string, r *maimon.Relation) (*fleet, error) {
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		reg := service.NewRegistry()
+		if _, err := reg.Add(name, r); err != nil {
+			f.close()
+			return nil, fmt.Errorf("experiments: registering %s on worker %d: %w", name, i, err)
+		}
+		mgr := service.NewManager(reg, service.Config{
+			Workers:     2,
+			MineWorkers: runtime.GOMAXPROCS(0),
+		})
+		ts := httptest.NewServer(service.NewServer(mgr))
+		f.urls = append(f.urls, ts.URL)
+		f.regs = append(f.regs, reg)
+		f.halt = append(f.halt, func() { ts.Close(); mgr.Close() })
+	}
+	return f, nil
+}
+
+func (f *fleet) close() {
+	for _, h := range f.halt {
+		h()
+	}
+}
+
+// hStats sums entropy-oracle counters across the fleet's sessions:
+// total H reads and fresh computes (reads not served by any memo).
+func (f *fleet) hStats(name string) (calls, computed int64) {
+	for _, reg := range f.regs {
+		if sess, ok := reg.Get(name); ok {
+			st := sess.Stats()
+			calls += int64(st.HCalls)
+			computed += int64(st.HCalls - st.HCached)
+		}
+	}
+	return calls, computed
+}
+
+// Run measures the distributed mining tier end to end: in-process
+// fleets of maimond worker services (real HTTP servers, real JSON shard
+// RPCs) are booted per cell with the benchmark dataset registered, then
+// each dataset's phase 1 is mined through a dist.Coordinator at
+// increasing fleet sizes with the memo exchange on and off, and compared
+// against the warm single-node mine. Every distributed run must
+// reproduce the single-node MVD count — the tier's determinism contract
+// — and at the largest fleet the exchange must strictly reduce the
+// fleet's fresh entropy computes, the property this benchmark records.
 func Run(cfg experiments.Config) ([]Row, string, error) {
 	rep := &report{out: cfg.Out}
 	eps := 0.1
@@ -84,27 +144,8 @@ func Run(cfg experiments.Config) ([]Row, string, error) {
 		return nil, "", err
 	}
 
-	// Boot the largest fleet once; smaller fleets are URL prefixes of it.
-	maxFleet := distBenchFleet[len(distBenchFleet)-1]
-	urls := make([]string, maxFleet)
-	for i := 0; i < maxFleet; i++ {
-		reg := service.NewRegistry()
-		for _, name := range order {
-			if _, err := reg.Add(name, rels[name]); err != nil {
-				return nil, "", fmt.Errorf("experiments: registering %s on worker %d: %w", name, i, err)
-			}
-		}
-		mgr := service.NewManager(reg, service.Config{
-			Workers:     2,
-			MineWorkers: runtime.GOMAXPROCS(0),
-		})
-		ts := httptest.NewServer(service.NewServer(mgr))
-		defer ts.Close()
-		defer mgr.Close()
-		urls[i] = ts.URL
-	}
-
 	ctx := context.Background()
+	maxFleet := distBenchFleet[len(distBenchFleet)-1]
 	var rows []Row
 	for _, name := range order {
 		r := rels[name]
@@ -133,62 +174,106 @@ func Run(cfg experiments.Config) ([]Row, string, error) {
 		localMS := float64(localBest.Microseconds()) / 1000
 		rep.printf("\nDist bench (%s): %d cols, %d rows, %d full MVDs at ε=%.2f (local warm %.1fms)\n",
 			name, r.NumCols(), r.NumRows(), len(warm.MVDs), eps, localMS)
-		rep.printf("%8s %7s %10s %9s %10s %8s %7s\n",
-			"workers", "shards", "wall[ms]", "speedup", "dispatches", "retries", "hedges")
+		rep.printf("%8s %5s %7s %10s %9s %10s %10s %11s %8s\n",
+			"workers", "memo", "shards", "wall[ms]", "speedup", "h_calls", "h_computed", "dup_avoided", "hedges")
 
+		// computed[exchangeOn] at the largest fleet, for the strict
+		// exchange-saves-computes gate below.
+		computedAtMax := map[bool]int64{}
 		for _, n := range distBenchFleet {
-			coord, err := dist.New(dist.Config{
-				Workers:         append([]string(nil), urls[:n]...),
-				ShardsPerWorker: 4,
-				ProbeInterval:   -1, // fleet is in-process; probing is noise here
-			})
-			if err != nil {
-				return nil, "", err
-			}
-			spec := dist.Spec{
-				Dataset:      name,
-				Epsilon:      eps,
-				ShardWorkers: runtime.GOMAXPROCS(0),
-				NumAttrs:     r.NumCols(),
-				Rows:         r.NumRows(),
-			}
-			best := time.Duration(1<<63 - 1)
-			var bestRep *dist.Report
-			var mvds int
-			for it := 0; it < 4; it++ { // first iteration warms the worker oracles
-				start := time.Now()
-				res, drep, err := coord.MineMVDs(ctx, spec)
-				elapsed := time.Since(start)
+			for _, exchange := range []bool{false, true} {
+				f, err := bootFleet(n, name, r)
 				if err != nil {
+					return nil, "", err
+				}
+				coord, err := dist.New(dist.Config{
+					Workers:         append([]string(nil), f.urls...),
+					ShardsPerWorker: 4,
+					// Cap in-flight RPCs at the fleet size: the default
+					// dispatches every shard at t=0 with an empty memo, which
+					// would give the exchange nothing to seed.
+					MaxInflight:     n,
+					MemoExchangeOff: !exchange,
+					ProbeInterval:   -1, // fleet is in-process; probing is noise here
+				})
+				if err != nil {
+					f.close()
+					return nil, "", err
+				}
+				spec := dist.Spec{
+					Dataset:      name,
+					Epsilon:      eps,
+					ShardWorkers: runtime.GOMAXPROCS(0),
+					NumAttrs:     r.NumCols(),
+					Rows:         r.NumRows(),
+				}
+				fail := func(err error) ([]Row, string, error) {
 					coord.Close()
-					return nil, "", fmt.Errorf("experiments: dist %s workers=%d: %w", name, n, err)
+					f.close()
+					return nil, "", err
 				}
-				if len(res.MVDs) != len(warm.MVDs) {
-					coord.Close()
-					return nil, "", fmt.Errorf("experiments: dist %s workers=%d mined %d MVDs, local mined %d",
-						name, n, len(res.MVDs), len(warm.MVDs))
+				best := time.Duration(1<<63 - 1)
+				var bestRep, coldRep *dist.Report
+				var hCalls, hComputed int64
+				var mvds int
+				// Iteration 0 runs on the cold fleet — the only one where
+				// "computes saved" is observable — and provides the h-call
+				// numbers; the remaining iterations measure warm wall time.
+				for it := 0; it < 3; it++ {
+					start := time.Now()
+					res, drep, err := coord.MineMVDs(ctx, spec)
+					elapsed := time.Since(start)
+					if err != nil {
+						return fail(fmt.Errorf("experiments: dist %s workers=%d memo=%v: %w", name, n, exchange, err))
+					}
+					if len(res.MVDs) != len(warm.MVDs) {
+						return fail(fmt.Errorf("experiments: dist %s workers=%d memo=%v mined %d MVDs, local mined %d",
+							name, n, exchange, len(res.MVDs), len(warm.MVDs)))
+					}
+					mvds = len(res.MVDs)
+					if it == 0 {
+						coldRep = drep
+						hCalls, hComputed = f.hStats(name)
+					} else if elapsed < best {
+						best, bestRep = elapsed, drep
+					}
 				}
-				mvds = len(res.MVDs)
-				if it > 0 && elapsed < best {
-					best, bestRep = elapsed, drep
+				coord.Close()
+				f.close()
+				if n == maxFleet {
+					computedAtMax[exchange] = hComputed
 				}
+				wallMS := float64(best.Microseconds()) / 1000
+				speedup := 0.0
+				if wallMS > 0 {
+					speedup = localMS / wallMS
+				}
+				rows = append(rows, Row{
+					Dataset: name, Workers: n, MemoExchange: exchange, Shards: bestRep.Shards,
+					WallMS: wallMS, LocalMS: localMS, Speedup: speedup,
+					Dispatches: bestRep.Dispatches, Retries: bestRep.Retries, Hedges: bestRep.Hedges,
+					BytesMerged: bestRep.BytesMerged,
+					HCalls:      hCalls, HComputed: hComputed,
+					MemoSeeded: coldRep.MemoSeeded, MemoMerged: coldRep.MemoMerged,
+					DupAvoided: coldRep.DuplicateHAvoided, MVDs: mvds,
+					GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+				})
+				memoLbl := "off"
+				if exchange {
+					memoLbl = "on"
+				}
+				rep.printf("%8d %5s %7d %10.1f %8.2fx %10d %10d %11d %8d\n",
+					n, memoLbl, bestRep.Shards, wallMS, speedup, hCalls, hComputed,
+					coldRep.DuplicateHAvoided, bestRep.Hedges)
 			}
-			coord.Close()
-			wallMS := float64(best.Microseconds()) / 1000
-			speedup := 0.0
-			if wallMS > 0 {
-				speedup = localMS / wallMS
-			}
-			rows = append(rows, Row{
-				Dataset: name, Workers: n, Shards: bestRep.Shards,
-				WallMS: wallMS, LocalMS: localMS, Speedup: speedup,
-				Dispatches: bestRep.Dispatches, Retries: bestRep.Retries, Hedges: bestRep.Hedges,
-				BytesMerged: bestRep.BytesMerged, MVDs: mvds,
-				GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-			})
-			rep.printf("%8d %7d %10.1f %8.2fx %10d %8d %7d\n",
-				n, bestRep.Shards, wallMS, speedup, bestRep.Dispatches, bestRep.Retries, bestRep.Hedges)
 		}
+		if on, off := computedAtMax[true], computedAtMax[false]; on >= off {
+			return nil, "", fmt.Errorf(
+				"experiments: dist %s workers=%d: memo exchange did not reduce fresh H computes (%d on vs %d off)",
+				name, maxFleet, on, off)
+		}
+		rep.printf("  exchange saves %d of %d fresh H computes at %d workers\n",
+			computedAtMax[false]-computedAtMax[true], computedAtMax[false], maxFleet)
 	}
 	return rows, rep.String(), nil
 }

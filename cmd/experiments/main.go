@@ -54,6 +54,7 @@ func main() {
 		memJSON   = flag.String("bench-memory-json", "", "run the memory-budget sweep and write its rows to this JSON file")
 		interJSON = flag.String("bench-intersect-json", "", "run the map-vs-arena intersection bench and write its rows to this JSON file")
 		cacheJSON = flag.String("bench-cache-json", "", "run the eviction-policy sweep (clock vs gdsf under shrinking PLI budgets) and write its rows to this JSON file")
+		spillJSON = flag.String("bench-spill-json", "", "run the spill-tier sweep (warm re-mines under a ⅛ budget, spill on vs off) and write its rows to this JSON file")
 		distJSON  = flag.String("bench-dist-json", "", "run the distributed-mining bench (in-process worker fleet) and write its rows to this JSON file")
 	)
 	flag.Parse()
@@ -96,6 +97,13 @@ func main() {
 	}
 	if *cacheJSON != "" {
 		if err := writeCacheJSON(cfg, *cacheJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *spillJSON != "" {
+		if err := writeSpillJSON(cfg, *spillJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -198,6 +206,20 @@ func writeIntersectJSON(cfg experiments.Config, path string) error {
 // root).
 func writeCacheJSON(cfg experiments.Config, path string) error {
 	return writeRowsJSON(path, experiments.CacheBench, cfg)
+}
+
+// writeSpillJSON runs the spill-tier sweep — warm ε-sweeps of the
+// planted and nursery generators under a ⅛ PLI budget with the disk
+// spill tier off (evictions drop, misses recompute) and on (expensive
+// evictions demote, misses promote) — and records its machine-readable
+// rows, {dataset, policy, budget_bytes, spill_on, wall_ms,
+// recompute_bytes, evictions, demotions, spill_hits, spill_bytes,
+// spill_read_ms, gomaxprocs, numcpu}, so what the tier saves the rebuild
+// cascade is tracked across commits (BENCH_spill.json at the repo root).
+// The run fails unless spill-on recomputes strictly fewer bytes than
+// spill-off under the same budget.
+func writeSpillJSON(cfg experiments.Config, path string) error {
+	return writeRowsJSON(path, experiments.SpillBench, cfg)
 }
 
 // writeDistJSON runs the distributed-mining benchmark — cold in-process

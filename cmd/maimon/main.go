@@ -5,7 +5,8 @@
 //
 //	maimon -input data.csv [-header] [-epsilon 0.1] [-mode schemes]
 //	       [-timeout 30s] [-max-schemes 50] [-workers 0] [-cache-bytes 0]
-//	       [-entropy-bytes 0] [-evict-policy clock] [-fds] [-v] [-trace]
+//	       [-entropy-bytes 0] [-evict-policy clock] [-spill-dir ""]
+//	       [-spill-bytes 0] [-fds] [-v] [-trace]
 //
 // Modes:
 //
@@ -62,6 +63,8 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
 		entropyBytes = flag.Int64("entropy-bytes", 0, "entropy-memo memory budget in bytes; cold entropies are evicted past it (0 = unlimited)")
 		evictPolicy  = flag.String("evict-policy", "clock", "PLI cache eviction policy under -cache-bytes: clock (recency) or gdsf (cost-aware)")
+		spillDir     = flag.String("spill-dir", "", "disk spill tier: evicted partitions worth re-reading are demoted into segment files under this directory instead of dropped (empty = disabled)")
+		spillBytes   = flag.Int64("spill-bytes", 0, "on-disk budget of the spill tier; oldest segments deleted past it (0 = unlimited)")
 		verbose      = flag.Bool("v", false, "stream live progress (and schemes, as they arrive) to stderr")
 		trace        = flag.Bool("trace", false, "print the stage-level mine trace (per-phase wall time, entropy/PLI work, per-stage breakdown) to stderr after mining")
 	)
@@ -96,10 +99,14 @@ func main() {
 	default:
 		fail("unknown -evict-policy %q (want clock or gdsf)", *evictPolicy)
 	}
+	if *spillDir != "" {
+		sessOpts = append(sessOpts, maimon.WithSpillDir(*spillDir), maimon.WithSpillBudget(*spillBytes))
+	}
 	sess, err := maimon.Open(r, sessOpts...)
 	if err != nil {
 		fail("%v", err)
 	}
+	defer sess.Close()
 	// Track the MVD count through the event stream (cheap even without
 	// -v); with -v the same stream is echoed to stderr live.
 	mvdCount := 0

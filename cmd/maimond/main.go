@@ -9,7 +9,8 @@
 //
 //	maimond [-addr :8080] [-workers N] [-mine-workers 1] [-queue 256]
 //	        [-job-timeout 0] [-cache-bytes 0] [-entropy-bytes 0]
-//	        [-evict-policy clock] [-result-cache 0]
+//	        [-evict-policy clock] [-spill-dir ""] [-spill-bytes 0]
+//	        [-result-cache 0]
 //	        [-log-level info] [-log-json] [-debug-addr ""]
 //	        [-load name=path.csv ...] [-nursery]
 //	        [-coordinator http://w1:8080,http://w2:8080]
@@ -122,6 +123,8 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "per-dataset PLI cache memory budget in bytes; cold partitions are evicted past it (0 = unlimited)")
 		entropyBytes = flag.Int64("entropy-bytes", 0, "per-dataset entropy-memo memory budget in bytes; cold entropies are evicted past it (0 = unlimited)")
 		evictPolicy  = flag.String("evict-policy", "clock", "PLI cache eviction policy under -cache-bytes: clock (recency) or gdsf (cost-aware)")
+		spillDir     = flag.String("spill-dir", "", "disk spill tier root: evicted PLI partitions worth re-reading are demoted into per-dataset segment stores under this directory instead of dropped; re-opened warm on restart (empty = disabled)")
+		spillBytes   = flag.Int64("spill-bytes", 0, "per-dataset on-disk budget of the spill tier; oldest segments deleted past it (0 = unlimited)")
 		resultCache  = flag.Int("result-cache", 0, "completed job results retained, LRU past the cap (0 = default 256, -1 = disable result caching)")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
@@ -151,6 +154,9 @@ func main() {
 		logger.Error(msg, args...)
 		os.Exit(1)
 	}
+	// The spill tier (and anything else below the service layer) logs rare
+	// events through the default logger; route them to the process one.
+	slog.SetDefault(logger)
 	tel := service.NewTelemetry(obs.NewRegistry(), logger)
 
 	var sessOpts []maimon.Option
@@ -168,6 +174,10 @@ func main() {
 		fatal("unknown -evict-policy (want clock or gdsf)", "policy", *evictPolicy)
 	}
 	reg := service.NewRegistry(sessOpts...)
+	if *spillDir != "" {
+		reg.SetSpill(*spillDir, *spillBytes)
+		logger.Info("spill tier enabled", "dir", *spillDir, "budget_bytes", *spillBytes)
+	}
 	if *nursery {
 		info, err := reg.Add("nursery", datagen.Nursery())
 		if err != nil {
@@ -262,4 +272,9 @@ func main() {
 		logger.Error("shutdown", "error", err)
 	}
 	mgr.Close() // cancels queued and running jobs, drains the pool
+	// With the pool drained no job can reach a session; persist every
+	// spill index so the next start re-opens the segments warm.
+	if err := reg.CloseAll(); err != nil {
+		logger.Error("closing sessions", "error", err)
+	}
 }

@@ -215,6 +215,12 @@ func (o *Oracle) memoShardOf(attrs bitset.AttrSet) *memoShard {
 // race on its plain maps, so they fall back to serial mining.
 func (o *Oracle) Shared() bool { return o.shared }
 
+// Close releases the PLI cache's disk spill tier (persisting its index
+// so the next session over the same directory starts warm). A no-op
+// without a spill tier; idempotent. The oracle itself stays usable for
+// in-memory work, but nothing spills or promotes afterwards.
+func (o *Oracle) Close() error { return o.cache.Close() }
+
 // Relation returns the relation the oracle serves.
 func (o *Oracle) Relation() *relation.Relation { return o.rel }
 

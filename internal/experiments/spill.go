@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/pli"
+)
+
+// SpillBenchRow is one measurement of the spill-tier sweep; the rows are
+// what cmd/experiments -bench-spill-json serializes into
+// BENCH_spill.json. Every budgeted row runs the same warm ε-sweep under
+// ⅛ of the dataset's unlimited PLI footprint; SpillOn says whether
+// evictions could demote to the disk tier or had to drop outright.
+// RecomputeBytes is the extra partition traffic the budget caused on the
+// steady-state repeat sweep (BytesTouched minus the unlimited baseline's,
+// clamped at zero) — the quantity the spill tier exists to shrink, since
+// a promoted partition costs one sequential read instead of a rebuild
+// cascade.
+type SpillBenchRow struct {
+	Dataset        string  `json:"dataset"`
+	Policy         string  `json:"policy"`
+	BudgetBytes    int64   `json:"budget_bytes"`
+	SpillOn        bool    `json:"spill_on"`
+	WallMS         float64 `json:"wall_ms"`
+	RecomputeBytes int64   `json:"recompute_bytes"`
+	Evictions      int     `json:"evictions"`
+	Demotions      int     `json:"demotions"`
+	SpillHits      int     `json:"spill_hits"`
+	SpillBytes     int64   `json:"spill_bytes"`
+	SpillReadMS    float64 `json:"spill_read_ms"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	NumCPU         int     `json:"numcpu"`
+}
+
+// SpillBench measures what the disk spill tier buys under memory
+// pressure: per dataset, an unlimited run learns the workload's natural
+// PLI footprint, then fresh oracles repeat the warm ε-sweep under ⅛ of
+// it with the spill tier off (evictions drop, misses recompute) and on
+// (expensive evictions demote to disk, misses promote back). As in
+// CacheBench, each run mines the full sweep once untimed so the policy
+// and the spill tier reach steady state, then the sweep repeats timed.
+// Results are policy-checked (per-ε MVD counts must match the
+// baseline's) and the run fails unless spill-on demoted, promoted, and
+// recomputed strictly fewer bytes than spill-off under the same budget —
+// the acceptance bar for the tier existing at all.
+func SpillBench(cfg Config) ([]SpillBenchRow, string, error) {
+	rep := newReport(cfg.Out)
+	rels, order, err := BenchDatasets(cfg.Scale)
+	if err != nil {
+		return nil, "", err
+	}
+	type sweepOut struct {
+		mvds        []int // per cacheSweepEps entry
+		wallMS      float64
+		touched     int64
+		evictions   int
+		demotions   int
+		spillHits   int
+		spillBytes  int64
+		spillReadNS int64
+		bytesLive   int64
+		memoBytes   int64
+	}
+	var rows []SpillBenchRow
+	for _, name := range order {
+		r := rels[name]
+		run := func(policy pli.Policy, budget, memoBudget int64, spillDir string) (sweepOut, error) {
+			pcfg := pli.DefaultConfig()
+			pcfg.MaxBytes = budget
+			pcfg.Policy = policy
+			pcfg.SpillDir = spillDir
+			o := entropy.NewShared(r, pcfg)
+			defer o.Close()
+			o.SetMemoBudget(memoBudget)
+			mine := func(eps float64) (int, error) {
+				opts := core.DefaultOptions(eps)
+				opts.Workers = cfg.Workers
+				res := core.NewMiner(o, opts).MineMVDs()
+				return len(res.MVDs), res.Err
+			}
+			// Warm-up + adaptation pass: the full sweep once, untimed.
+			var out sweepOut
+			if _, err := mine(cacheWarmEps); err != nil {
+				return sweepOut{}, err
+			}
+			for _, eps := range cacheSweepEps {
+				n, err := mine(eps)
+				if err != nil {
+					return sweepOut{}, err
+				}
+				out.mvds = append(out.mvds, n)
+			}
+			st0 := o.Stats()
+			start := time.Now()
+			for _, eps := range cacheSweepEps {
+				if _, err := mine(eps); err != nil {
+					return sweepOut{}, err
+				}
+			}
+			out.wallMS = float64(time.Since(start).Microseconds()) / 1000
+			st1 := o.Stats()
+			out.touched = st1.PLIStats.BytesTouched - st0.PLIStats.BytesTouched
+			out.evictions = st1.PLIStats.Evictions
+			out.demotions = st1.PLIStats.Demotions
+			out.spillHits = st1.PLIStats.SpillHits
+			out.spillBytes = st1.PLIStats.SpillBytes
+			out.spillReadNS = st1.PLIStats.SpillReadNS
+			out.bytesLive = st1.PLIStats.BytesLive
+			out.memoBytes = st1.MemoBytes
+			return out, nil
+		}
+
+		base, err := run(pli.PolicyClock, 0, 0, "")
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: spill baseline %s: %w", name, err)
+		}
+		footprint := base.bytesLive
+		budget := footprint / 8
+		if budget < 1 {
+			budget = 1
+		}
+		// The memo is squeezed to the same fraction as the PLI cache —
+		// with it unlimited the repeat sweep is answered from memoized
+		// entropies and never exercises the partition path the spill
+		// tier sits under (see CacheBench).
+		memoBudget := base.memoBytes / 8
+		if memoBudget < 1 {
+			memoBudget = 1
+		}
+		rep.printf("\nSpill-tier bench (%s): %d cols, %d rows; unlimited footprint %d B PLI + %d B memo, re-sweep ε=%v under ⅛ budgets\n",
+			name, r.NumCols(), r.NumRows(), footprint, base.memoBytes, cacheSweepEps)
+		rep.printf("%7s %6s %10s %14s %10s %10s %10s %12s %12s\n",
+			"policy", "spill", "wall[ms]", "recompute[B]", "evictions", "demotions", "hits", "spill[B]", "read[ms]")
+		emit := func(policy pli.Policy, spillOn bool, b int64, out sweepOut) int64 {
+			recompute := out.touched - base.touched
+			if recompute < 0 {
+				recompute = 0
+			}
+			rows = append(rows, SpillBenchRow{
+				Dataset:        name,
+				Policy:         string(policy),
+				BudgetBytes:    b,
+				SpillOn:        spillOn,
+				WallMS:         out.wallMS,
+				RecomputeBytes: recompute,
+				Evictions:      out.evictions,
+				Demotions:      out.demotions,
+				SpillHits:      out.spillHits,
+				SpillBytes:     out.spillBytes,
+				SpillReadMS:    float64(out.spillReadNS) / 1e6,
+				GoMaxProcs:     runtime.GOMAXPROCS(0),
+				NumCPU:         runtime.NumCPU(),
+			})
+			rep.printf("%7s %6v %10.1f %14d %10d %10d %10d %12d %12.1f\n",
+				policy, spillOn, out.wallMS, recompute, out.evictions,
+				out.demotions, out.spillHits, out.spillBytes, float64(out.spillReadNS)/1e6)
+			return recompute
+		}
+		emit(pli.PolicyClock, false, 0, base)
+		for _, policy := range []pli.Policy{pli.PolicyClock, pli.PolicyGDSF} {
+			off, err := run(policy, budget, memoBudget, "")
+			if err != nil {
+				return nil, "", fmt.Errorf("experiments: %s policy=%s spill=off: %w", name, policy, err)
+			}
+			dir, err := os.MkdirTemp("", "maimon-spillbench-*")
+			if err != nil {
+				return nil, "", err
+			}
+			on, err := run(policy, budget, memoBudget, dir)
+			os.RemoveAll(dir)
+			if err != nil {
+				return nil, "", fmt.Errorf("experiments: %s policy=%s spill=on: %w", name, policy, err)
+			}
+			for _, out := range []sweepOut{off, on} {
+				for i, n := range out.mvds {
+					if n != base.mvds[i] {
+						return nil, "", fmt.Errorf("experiments: %s policy=%s ε=%v mined %d MVDs, baseline mined %d",
+							name, policy, cacheSweepEps[i], n, base.mvds[i])
+					}
+				}
+			}
+			offRe := emit(policy, false, budget, off)
+			onRe := emit(policy, true, budget, on)
+			if on.demotions == 0 || on.spillHits == 0 {
+				return nil, "", fmt.Errorf("experiments: %s policy=%s: ⅛ budget never exercised the spill tier (demotions=%d hits=%d)",
+					name, policy, on.demotions, on.spillHits)
+			}
+			if offRe > 0 && onRe >= offRe {
+				return nil, "", fmt.Errorf("experiments: %s policy=%s: spill-on recomputed %d B, not fewer than spill-off's %d B",
+					name, policy, onRe, offRe)
+			}
+		}
+	}
+	return rows, rep.String(), nil
+}

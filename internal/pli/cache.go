@@ -1,12 +1,15 @@
 package pli
 
 import (
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/relation"
+	"repro/internal/spill"
 	"repro/internal/stripe"
 )
 
@@ -20,8 +23,14 @@ type Stats struct {
 	Entries      int   // partitions currently cached (live, post-eviction, all shards)
 	BytesLive    int64 // bytes retained by evictable (multi-attribute) partitions
 	BytesPinned  int64 // bytes retained by pinned (single-attribute) partitions, outside the budget
-	Evictions    int   // partitions evicted to stay within the memory budget
+	Evictions    int   // partitions evicted to stay within the memory budget (Drops + Demotions)
+	Drops        int   // evictions that discarded the partition — the next request recomputes
+	Demotions    int   // evictions that spilled the partition to the disk tier instead
 	BytesTouched int64 // partition bytes scanned by the intersection engine (row ids read + probe lookups)
+
+	SpillBytes  int64 // on-disk footprint of the spill tier (0 without a SpillDir)
+	SpillHits   int   // requests served by promoting a spilled partition instead of recomputing
+	SpillReadNS int64 // nanoseconds spent reading promoted partitions back from disk
 }
 
 // Policy selects the eviction policy a memory budget drives.
@@ -81,6 +90,20 @@ type Config struct {
 	// Policy selects the eviction policy the budgets drive: PolicyClock
 	// (the default; "" means clock) or PolicyGDSF.
 	Policy Policy
+	// SpillDir enables the disk spill tier: evictions *demote* a
+	// partition into an append-only segment store under this directory
+	// when rebuilding it would scan more bytes than reading it back
+	// (recompute cost vs spill read cost), and a later miss promotes it
+	// with one sequential read instead of re-running the intersection
+	// cascade. Purely a cost trade on the miss path — results stay
+	// byte-identical to spill-off at every budget. "" disables the tier.
+	// If the directory cannot be opened the cache logs and runs without
+	// it rather than failing.
+	SpillDir string
+	// SpillMaxBytes bounds the spill tier's on-disk footprint; past it
+	// the oldest spill segments are deleted (their partitions become
+	// plain misses again). <= 0 means unlimited.
+	SpillMaxBytes int64
 }
 
 // DefaultConfig mirrors the paper's implementation choices.
@@ -127,8 +150,15 @@ type Cache struct {
 	misses       atomic.Int64
 	intersects   atomic.Int64
 	entropyOnly  atomic.Int64
-	evictions    atomic.Int64
+	drops        atomic.Int64
+	demotions    atomic.Int64
+	spillHits    atomic.Int64
+	spillReadNS  atomic.Int64
 	bytesTouched atomic.Int64
+
+	// store is the disk spill tier; nil unless Config.SpillDir is set
+	// and opened. Evictions demote into it, misses promote out of it.
+	store *spill.Store
 }
 
 // cacheShard is one slice of the cache: its part of the map plus the
@@ -211,7 +241,34 @@ func NewCache(r *relation.Relation, cfg Config) *Cache {
 		c.entries.Add(1)
 		c.bytesPinned.Add(e.bytes)
 	}
+	if cfg.SpillDir != "" {
+		st, err := spill.Open(spill.Config{
+			Dir:       cfg.SpillDir,
+			ShapeHash: r.ShapeHash(),
+			MaxBytes:  cfg.SpillMaxBytes,
+		})
+		if err != nil {
+			// The spill tier is an optimization; a broken directory must
+			// not fail the mine. Run without it.
+			slog.Warn("pli: spill tier unavailable; evictions will drop instead of demote",
+				"dir", cfg.SpillDir, "error", err)
+		} else {
+			c.store = st
+		}
+	}
 	return c
+}
+
+// Close persists the spill tier's index (so the next Open over the same
+// directory starts warm) and releases its file handles. Partitions
+// already promoted stay valid — their views outlive the store — but no
+// new spill reads or demotions happen afterwards. A cache without a
+// spill tier has nothing to close. Idempotent.
+func (c *Cache) Close() error {
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Close()
 }
 
 // shard maps an attribute set to its shard.
@@ -222,9 +279,12 @@ func (c *Cache) shard(attrs bitset.AttrSet) *cacheShard {
 // Relation returns the relation the cache serves.
 func (c *Cache) Relation() *relation.Relation { return c.rel }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. Evictions is kept as
+// the sum of Drops and Demotions so pre-spill dashboards keep reading
+// the same total.
 func (c *Cache) Stats() Stats {
-	return Stats{
+	drops, demotions := int(c.drops.Load()), int(c.demotions.Load())
+	st := Stats{
 		Hits:         int(c.hits.Load()),
 		Misses:       int(c.misses.Load()),
 		Intersects:   int(c.intersects.Load()),
@@ -232,9 +292,17 @@ func (c *Cache) Stats() Stats {
 		Entries:      int(c.entries.Load()),
 		BytesLive:    c.bytesLive.Load(),
 		BytesPinned:  c.bytesPinned.Load(),
-		Evictions:    int(c.evictions.Load()),
+		Evictions:    drops + demotions,
+		Drops:        drops,
+		Demotions:    demotions,
 		BytesTouched: c.bytesTouched.Load(),
+		SpillHits:    int(c.spillHits.Load()),
+		SpillReadNS:  c.spillReadNS.Load(),
 	}
+	if c.store != nil {
+		st.SpillBytes = c.store.Bytes()
+	}
+	return st
 }
 
 // touch refreshes an entry's standing with the eviction policy on a warm
@@ -262,11 +330,36 @@ func (c *Cache) Get(attrs bitset.AttrSet) *Partition {
 	return c.GetWith(a, attrs)
 }
 
+// served reports where a materialize got its partition from: warm off an
+// already-published entry, fresh from the build, or promoted from the
+// disk spill tier. The distinction drives the stats — the issue of
+// record for the spill tier is that spill reads are counted separately
+// from fresh computes, so a dashboard can see recomputes actually fall.
+type served int8
+
+const (
+	servedWarm served = iota
+	servedFresh
+	servedSpill
+)
+
+// count routes one top-level serve into the stats: warm → Hits, fresh →
+// Misses, spill → neither (spillLoad already counted the SpillHit).
+func (c *Cache) count(sv served) {
+	switch sv {
+	case servedWarm:
+		c.hits.Add(1)
+	case servedFresh:
+		c.misses.Add(1)
+	}
+}
+
 // GetWith is Get on the caller's arena. Concurrent requests for the same
 // fresh set compute it once; the rest wait on its entry. A warm serve —
 // single-attribute sets and lost install races included — counts toward
 // Stats.Hits and refreshes the entry's eviction standing; only requests
-// that actually computed the partition count as misses.
+// that actually computed the partition count as misses, and a promotion
+// from the spill tier counts as a SpillHit instead of either.
 func (c *Cache) GetWith(a *Arena, attrs bitset.AttrSet) *Partition {
 	sh := c.shard(attrs)
 	sh.mu.Lock()
@@ -278,12 +371,8 @@ func (c *Cache) GetWith(a *Arena, attrs bitset.AttrSet) *Partition {
 		c.touch(sh, e)
 		return e.p
 	}
-	p, _, won := c.compute(a, attrs)
-	if won {
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
+	p, _, sv := c.compute(a, attrs)
+	c.count(sv)
 	return p
 }
 
@@ -314,12 +403,8 @@ func (c *Cache) EntropyWith(a *Arena, attrs bitset.AttrSet) float64 {
 		c.touch(sh, e)
 		return e.p.Entropy()
 	}
-	h, won := c.computeEntropy(a, attrs)
-	if won {
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
+	h, sv := c.computeEntropy(a, attrs)
+	c.count(sv)
 	return h
 }
 
@@ -330,11 +415,14 @@ func (c *Cache) EntropyWith(a *Arena, attrs bitset.AttrSet) float64 {
 // scanned, cascaded child rebuilds included), which prices the entry
 // under PolicyGDSF.
 // Published entries are subject to eviction; a later request for an
-// evicted set simply lands here again and recomputes. The second return
-// reports whether this call installed and built the entry — false means
-// it was served warm off an entry some other goroutine published first
-// (the stats treat that as a hit: no compute happened here).
-func (c *Cache) materialize(attrs bitset.AttrSet, build func() (*Partition, int64)) (*Partition, bool) {
+// evicted set lands here again — and, when a spill tier holds the set's
+// demoted record, the installer promotes it with one sequential read
+// instead of calling build at all. The promotion happens inside the
+// single-flight window: concurrent duplicates wait on the same latch
+// whether the installer computed or read from disk. The second return
+// reports how this call was served — servedWarm means it rode an entry
+// some other goroutine published first (no compute happened here).
+func (c *Cache) materialize(attrs bitset.AttrSet, build func() (*Partition, int64)) (*Partition, served) {
 	sh := c.shard(attrs)
 	sh.mu.Lock()
 	e, ok := sh.parts[attrs]
@@ -342,16 +430,42 @@ func (c *Cache) materialize(attrs bitset.AttrSet, build func() (*Partition, int6
 		e = &entry{ready: make(chan struct{}), attrs: attrs, pinned: attrs.Len() <= 1}
 		sh.parts[attrs] = e
 		sh.mu.Unlock()
-		var cost int64
-		e.p, cost = build()
-		e.cost = float64(cost)
+		sv := servedFresh
+		if p, cost, ok := c.spillLoad(attrs); ok {
+			e.p, e.cost = p, cost
+			sv = servedSpill
+		} else {
+			var cost int64
+			e.p, cost = build()
+			e.cost = float64(cost)
+		}
 		c.publish(sh, e)
-		return e.p, true
+		return e.p, sv
 	}
 	sh.mu.Unlock()
 	<-e.ready
 	c.touch(sh, e)
-	return e.p, false
+	return e.p, servedWarm
+}
+
+// spillLoad promotes attrs from the disk spill tier, if present there: a
+// checksummed sequential read back into a Partition whose arrays may be
+// zero-copy views of the store's sealed mappings. The record's stored
+// recompute cost survives the round trip, so a promoted entry keeps its
+// GDSF standing. ok is false on any miss — no store, never demoted, or
+// a record that failed validation (which the store unindexes).
+func (c *Cache) spillLoad(attrs bitset.AttrSet) (*Partition, float64, bool) {
+	if c.store == nil {
+		return nil, 0, false
+	}
+	start := time.Now()
+	f, ok := c.store.Get(uint64(attrs))
+	if !ok {
+		return nil, 0, false
+	}
+	c.spillHits.Add(1)
+	c.spillReadNS.Add(time.Since(start).Nanoseconds())
+	return &Partition{n: f.NumRows, rows: f.Rows, offsets: f.Offsets, hsum: f.Hsum}, f.Cost, true
 }
 
 // publish completes an in-flight entry: account its bytes, release the
@@ -410,9 +524,59 @@ func (c *Cache) drop(sh *cacheShard, e *entry) {
 			break
 		}
 	}
+	c.retire(e)
+}
+
+// spillReadPenalty weighs a byte read back from the spill tier against a
+// byte scanned by the intersection engine when retire decides a
+// partition's fate. Disk (even page-cache-warm disk) is slower per byte
+// than the in-memory count loop the recompute cost was measured in, so a
+// demotion must buy back several times its read size in avoided rebuild
+// scanning to be worth keeping.
+const spillReadPenalty = 4
+
+// retire finishes an eviction after the entry has left its shard's map
+// and ring: release the byte accounting, then either demote the
+// partition to the spill tier (when rebuilding it would cost more than
+// reading it back) or drop it. The demote-vs-drop rule is the point of
+// the cost-aware plumbing: e.cost is the bytes the partition's own build
+// cascade scanned, the read cost is its flat payload weighted by
+// spillReadPenalty — cheap-to-rebuild partitions aren't worth the disk.
+func (c *Cache) retire(e *entry) {
 	c.entries.Add(-1)
 	c.bytesLive.Add(-e.bytes)
-	c.evictions.Add(1)
+	if c.demote(e) {
+		c.demotions.Add(1)
+	} else {
+		c.drops.Add(1)
+	}
+}
+
+// demote writes the partition's flat record into the spill tier,
+// reporting whether the eviction became a demotion. A key the store
+// already holds skips the rewrite — partitions are deterministic, so the
+// record a previous demotion wrote is still the partition — and still
+// counts as a demotion.
+func (c *Cache) demote(e *entry) bool {
+	if c.store == nil || e.p == nil {
+		return false
+	}
+	payload := 4 * int64(len(e.p.rows)+len(e.p.offsets))
+	if e.cost <= float64(payload*spillReadPenalty) {
+		return false
+	}
+	key := uint64(e.attrs)
+	if c.store.Contains(key) {
+		return true
+	}
+	err := c.store.Put(key, spill.Flat{
+		NumRows: e.p.n,
+		Rows:    e.p.rows,
+		Offsets: e.p.offsets,
+		Hsum:    e.p.hsum,
+		Cost:    e.cost,
+	})
+	return err == nil
 }
 
 // overBudget reports whether the cache currently exceeds either budget.
@@ -484,9 +648,7 @@ func (c *Cache) sweep(sh *cacheShard) {
 		sh.ring[last] = nil
 		sh.ring = sh.ring[:last]
 		delete(sh.parts, e.attrs)
-		c.entries.Add(-1)
-		c.bytesLive.Add(-e.bytes)
-		c.evictions.Add(1)
+		c.retire(e)
 	}
 }
 
@@ -516,9 +678,7 @@ func (c *Cache) sweepGDSF(sh *cacheShard) {
 		sh.ring[last] = nil
 		sh.ring = sh.ring[:last]
 		delete(sh.parts, e.attrs)
-		c.entries.Add(-1)
-		c.bytesLive.Add(-e.bytes)
-		c.evictions.Add(1)
+		c.retire(e)
 	}
 }
 
@@ -528,13 +688,13 @@ func (c *Cache) sweepGDSF(sh *cacheShard) {
 // fully warm chain — and each intermediate is priced for GDSF with the
 // cascade bytes paid up to and including its own build, so an entry whose
 // absence forces a deep rebuild (its parents were evicted too) carries
-// that full miss penalty, not just its final intersect. The bool reports
-// whether the final entry was built by this call (vs served warm off a
-// racing install).
-func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (p *Partition, paid int64, won bool) {
+// that full miss penalty, not just its final intersect. The served value
+// reports how the final entry was obtained by this call (fresh build,
+// spill promotion, or warm off a racing install).
+func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (p *Partition, paid int64, sv served) {
 	if attrs.IsEmpty() {
-		p, won = c.materialize(attrs, func() (*Partition, int64) { return FromAttrs(c.rel, attrs), 0 })
-		return p, 0, won
+		p, sv = c.materialize(attrs, func() (*Partition, int64) { return FromAttrs(c.rel, attrs), 0 })
+		return p, 0, sv
 	}
 	var acc *Partition
 	var accSet bitset.AttrSet
@@ -546,20 +706,20 @@ func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (p *Partition, paid int6
 		pp, piecePaid, w := c.blockPartition(a, piece)
 		paid += piecePaid
 		if acc == nil {
-			acc, accSet, won = pp, piece, w
+			acc, accSet, sv = pp, piece, w
 			continue
 		}
 		left := acc
 		chain := paid // cascade bytes owed before this step's own scan
 		var stepPaid int64
 		accSet = accSet.Union(piece)
-		acc, won = c.materialize(accSet, func() (*Partition, int64) {
+		acc, sv = c.materialize(accSet, func() (*Partition, int64) {
 			stepPaid = scanBytes(left, pp)
 			return c.intersect(a, left, pp), chain + stepPaid
 		})
 		paid += stepPaid
 	}
-	return acc, paid, won
+	return acc, paid, sv
 }
 
 // computeEntropy is compute for callers that only need the entropy. It
@@ -570,26 +730,26 @@ func (c *Cache) compute(a *Arena, attrs bitset.AttrSet) (p *Partition, paid int6
 // straight from the staged counts — a pure streaming evaluation, no
 // build, no publish, no eviction churn. Otherwise the staged counts are
 // finished into the cached partition, sharing the count pass.
-func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, bool) {
+func (c *Cache) computeEntropy(a *Arena, attrs bitset.AttrSet) (float64, served) {
 	left, right, chainPaid, ok := c.finalOperands(a, attrs)
 	if !ok {
-		p, _, won := c.compute(a, attrs)
-		return p.Entropy(), won
+		p, _, sv := c.compute(a, attrs)
+		return p.Entropy(), sv
 	}
 	c.countIntersect(left, right)
 	a.stage(left, right)
 	if c.cfg.MaxBytes > 0 && a.stagedSizeBytes() > c.cfg.MaxBytes {
 		c.entropyOnly.Add(1)
-		return a.stagedEntropy(), true
+		return a.stagedEntropy(), servedFresh
 	}
-	p, won := c.materialize(attrs, func() (*Partition, int64) {
+	p, sv := c.materialize(attrs, func() (*Partition, int64) {
 		return a.finish(), chainPaid + scanBytes(left, right)
 	})
 	// When the install race was lost, finish never ran; drop the staged
 	// operand references either way so the arena cannot pin partitions
 	// past this evaluation.
 	a.clearStaged()
-	return p.Entropy(), won
+	return p.Entropy(), sv
 }
 
 // finalOperands materializes the blockwise chain for attrs up to — but
@@ -639,10 +799,10 @@ func (c *Cache) finalOperands(a *Arena, attrs bitset.AttrSet) (left, right *Part
 // realizes the paper's per-block precomputation lazily: only subsets that
 // are actually requested get materialized. paid is the bytes this call's
 // peel actually scanned (cascade included, zero on a hit), which doubles
-// as the entry's GDSF cost; the bool mirrors materialize's.
-func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, int64, bool) {
+// as the entry's GDSF cost; the served value mirrors materialize's.
+func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, int64, served) {
 	var paid int64
-	p, won := c.materialize(piece, func() (*Partition, int64) {
+	p, sv := c.materialize(piece, func() (*Partition, int64) {
 		hi := piece.Max()
 		rest := piece.Remove(hi)
 		restPart, restPaid, _ := c.blockPartition(a, rest)
@@ -650,7 +810,7 @@ func (c *Cache) blockPartition(a *Arena, piece bitset.AttrSet) (*Partition, int6
 		paid = restPaid + scanBytes(restPart, single)
 		return c.intersect(a, restPart, single), paid
 	})
-	return p, paid, won
+	return p, paid, sv
 }
 
 func (c *Cache) intersect(a *Arena, p, q *Partition) *Partition {

@@ -434,6 +434,36 @@ func (r *Relation) Equal(o *Relation) bool {
 // used by the paper's savings metric (Sec. 8.1).
 func (r *Relation) Cells() int { return r.rows * r.NumCols() }
 
+// ShapeHash fingerprints the relation instance: shape (rows, columns,
+// names, domain sizes) and every code cell, folded FNV-1a style. Two
+// relations share a hash exactly when mining them is interchangeable —
+// the codes determine every partition — so persistent artifacts derived
+// from the relation (spilled partitions, warm caches) stamp themselves
+// with it and refuse to load against different data. Deterministic
+// across processes and architectures.
+func (r *Relation) ShapeHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h = (h ^ x) * prime
+	}
+	mix(uint64(r.rows))
+	mix(uint64(r.NumCols()))
+	for _, name := range r.names {
+		for i := 0; i < len(name); i++ {
+			h = (h ^ uint64(name[i])) * prime
+		}
+		mix(0xfe) // name terminator so ["ab","c"] ≠ ["a","bc"]
+	}
+	for j := range r.cols {
+		mix(uint64(r.DomainSize(j)))
+		for _, code := range r.cols[j] {
+			mix(uint64(uint32(code)))
+		}
+	}
+	return h
+}
+
 // ReadCSV reads a relation from CSV. If header is true the first record
 // names the attributes; otherwise attributes are named by letters A, B, ...
 func ReadCSV(rd io.Reader, header bool) (*Relation, error) {

@@ -235,14 +235,17 @@ func memorySnapshot(sess *maimon.Session) *MemoryStatus {
 	}
 	st := sess.Stats()
 	return &MemoryStatus{
-		BytesLive:     st.PLIStats.BytesLive,
-		BytesPinned:   st.PLIStats.BytesPinned,
-		Evictions:     st.PLIStats.Evictions,
-		PLIEntries:    st.PLIStats.Entries,
-		HCached:       st.HCached,
-		EntropyOnly:   st.PLIStats.EntropyOnly,
-		MemoBytes:     st.MemoBytes,
-		MemoEvictions: st.MemoEvictions,
+		BytesLive:      st.PLIStats.BytesLive,
+		BytesPinned:    st.PLIStats.BytesPinned,
+		Evictions:      st.PLIStats.Evictions,
+		PLIEntries:     st.PLIStats.Entries,
+		HCached:        st.HCached,
+		EntropyOnly:    st.PLIStats.EntropyOnly,
+		MemoBytes:      st.MemoBytes,
+		MemoEvictions:  st.MemoEvictions,
+		SpillBytes:     st.PLIStats.SpillBytes,
+		SpillHits:      st.PLIStats.SpillHits,
+		SpillDemotions: st.PLIStats.Demotions,
 	}
 }
 

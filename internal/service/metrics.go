@@ -210,6 +210,18 @@ func (t *Telemetry) bindManager(m *Manager) {
 	r.GaugeFunc("maimon_pli_entries",
 		"PLI partitions currently cached across all live sessions.",
 		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Entries) }))
+	r.GaugeFunc("maimon_spill_bytes",
+		"On-disk footprint of the PLI spill tiers across all live sessions (0 without -spill-dir).",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.SpillBytes) }))
+	r.CounterFunc("maimon_spill_hits_total",
+		"Requests served by promoting a spilled partition instead of recomputing, across all live sessions (resets when a dataset is removed).",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.SpillHits) }))
+	r.CounterFunc("maimon_spill_demotions_total",
+		"PLI evictions that demoted the partition to the spill tier instead of dropping it, across all live sessions (resets when a dataset is removed).",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.Demotions) }))
+	r.CounterFunc("maimon_spill_read_seconds",
+		"Seconds spent reading promoted partitions back from the spill tier, across all live sessions (resets when a dataset is removed).",
+		sum(func(s maimon.Stats) float64 { return float64(s.PLIStats.SpillReadNS) / 1e9 }))
 }
 
 // jobSubmitted records a Submit outcome.

@@ -16,8 +16,11 @@ package service
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +44,14 @@ type Registry struct {
 	// maimond's -cache-bytes) is injected.
 	opts []maimon.Option
 
+	// spillRoot/spillBudget, when set via SetSpill, give every session a
+	// per-dataset spill directory under the root. The subdirectory name
+	// is derived from the dataset name (sanitized plus a hash), so the
+	// same dataset name re-registered after a restart finds its previous
+	// segments — the shape stamp decides whether they are still valid.
+	spillRoot   string
+	spillBudget int64
+
 	mu  sync.RWMutex
 	m   map[string]*entry
 	seq int64
@@ -63,6 +74,35 @@ func NewRegistry(opts ...maimon.Option) *Registry {
 	return &Registry{m: make(map[string]*entry), opts: opts}
 }
 
+// SetSpill points the registry at a spill root directory: every session
+// opened afterwards gets the disk spill tier (maimon.WithSpillDir) in a
+// per-dataset subdirectory, bounded by budget bytes each (<= 0 =
+// unlimited). Call before registering datasets; "" disables.
+func (g *Registry) SetSpill(root string, budget int64) {
+	g.spillRoot = root
+	g.spillBudget = budget
+}
+
+// spillDirFor maps a dataset name to its spill subdirectory: the name
+// sanitized to a filesystem-safe prefix plus a hash of the exact name,
+// so distinct dataset names can never share (and poison) a directory.
+func (g *Registry) spillDirFor(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	if len(safe) > 40 {
+		safe = safe[:40]
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return filepath.Join(g.spillRoot, fmt.Sprintf("%s-%016x", safe, h.Sum64()))
+}
+
 // Add opens a session over r and registers it under name. Names are
 // unique: re-registering is an error (delete first), which keeps cached
 // results unambiguous.
@@ -70,7 +110,13 @@ func (g *Registry) Add(name string, r *relation.Relation) (DatasetInfo, error) {
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("service: dataset name must not be empty")
 	}
-	sess, err := maimon.Open(r, g.opts...)
+	opts := g.opts
+	if g.spillRoot != "" {
+		opts = append(append([]maimon.Option(nil), opts...),
+			maimon.WithSpillDir(g.spillDirFor(name)),
+			maimon.WithSpillBudget(g.spillBudget))
+	}
+	sess, err := maimon.Open(r, opts...)
 	if err != nil {
 		return DatasetInfo{}, fmt.Errorf("service: opening session for %q: %w", name, err)
 	}
@@ -177,4 +223,21 @@ func (g *Registry) remove(name string) (bool, int64) {
 	}
 	delete(g.m, name)
 	return true, e.id
+}
+
+// CloseAll closes every registered session, persisting each spill index
+// so a restarted daemon re-opens the segments warm. Called at shutdown,
+// after the job manager has drained — a removed-but-still-mining
+// session's spill tier must not be closed under it, which is why Remove
+// never closes. Returns the first error.
+func (g *Registry) CloseAll() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var firstErr error
+	for name, e := range g.m {
+		if err := e.sess.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("service: closing session %q: %w", name, err)
+		}
+	}
+	return firstErr
 }

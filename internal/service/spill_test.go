@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	maimon "repro"
+	"repro/internal/datagen"
+)
+
+// runSpillJob registers nursery on a spill-enabled registry, mines it,
+// and returns the finished job's status.
+func runSpillJob(t *testing.T, reg *Registry) JobStatus {
+	t.Helper()
+	if _, err := reg.Add("nursery", datagen.Nursery().Head(800)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(reg, Config{Workers: 1})
+	defer mgr.Close()
+	job, err := mgr.Submit(JobRequest{Dataset: "nursery", Epsilon: 0.2, Mode: ModeMVDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	select {
+	case <-job.Done():
+	case <-ctx.Done():
+		t.Fatal("job did not finish")
+	}
+	st := job.Status()
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	if st.Memory == nil {
+		t.Fatal("no memory state on the job")
+	}
+	return st
+}
+
+// TestSpillRegistrySessions: a registry pointed at a spill root gives
+// each session a per-dataset spill directory; a tightly budgeted mine
+// demotes partitions there and JobStatus.memory reports the tier, and
+// CloseAll persists the spill index for a warm restart.
+func TestSpillRegistrySessions(t *testing.T) {
+	root := t.TempDir()
+	reg := NewRegistry(maimon.WithMemoryBudget(64<<10), maimon.WithEvictionPolicy(maimon.PolicyGDSF))
+	reg.SetSpill(root, 0)
+	st := runSpillJob(t, reg)
+	if st.Memory.SpillDemotions == 0 {
+		t.Fatalf("64KiB budget with a spill root demoted nothing: %+v", st.Memory)
+	}
+	if st.Memory.SpillBytes == 0 {
+		t.Fatalf("demotions with no on-disk bytes: %+v", st.Memory)
+	}
+	if st.Memory.Evictions < st.Memory.SpillDemotions {
+		t.Fatalf("Evictions %d below SpillDemotions %d — the sum contract broke",
+			st.Memory.Evictions, st.Memory.SpillDemotions)
+	}
+	dir := reg.spillDirFor("nursery")
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("per-dataset spill dir %s missing: %v", dir, err)
+	}
+	if err := reg.CloseAll(); err != nil {
+		t.Fatalf("CloseAll: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawIndex := false
+	for _, e := range ents {
+		if e.Name() == "index.json" {
+			sawIndex = true
+		}
+	}
+	if !sawIndex {
+		t.Fatalf("CloseAll persisted no spill index in %s", dir)
+	}
+
+	// A fresh registry over the same root and dataset starts warm: the
+	// re-mine promotes from the previous incarnation's segments.
+	reg2 := NewRegistry(maimon.WithMemoryBudget(64<<10), maimon.WithEvictionPolicy(maimon.PolicyGDSF))
+	reg2.SetSpill(root, 0)
+	st2 := runSpillJob(t, reg2)
+	if st2.Memory.SpillHits == 0 {
+		t.Fatalf("restarted registry promoted nothing from the warm spill dir: %+v", st2.Memory)
+	}
+	reg2.CloseAll()
+}
+
+// TestSpillDirPerDataset: distinct dataset names must never share a
+// spill directory, even when they sanitize to the same prefix.
+func TestSpillDirPerDataset(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSpill("/tmp/spill-root", 0)
+	a := reg.spillDirFor("data/set")
+	b := reg.spillDirFor("data.set")
+	if a == b {
+		t.Fatalf("dataset names %q and %q map to the same spill dir %s", "data/set", "data.set", a)
+	}
+}

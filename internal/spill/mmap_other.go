@@ -1,0 +1,14 @@
+//go:build !unix
+
+package spill
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; sealed segments are read by
+// pread like the active one.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}

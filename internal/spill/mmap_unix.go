@@ -1,0 +1,19 @@
+//go:build unix
+
+package spill
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The mapping is
+// never unmapped while the process lives — promoted partitions hold
+// zero-copy views into it — so callers only map sealed (immutable)
+// segments. An error just routes reads through pread instead.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}

@@ -1,0 +1,663 @@
+// Package spill is the disk tier under the PLI partition cache: an
+// append-only segment-file store for flat (rows + offsets) partitions,
+// so a cache eviction can demote a partition to disk instead of
+// discarding it into a future rebuild cascade, and a later miss can
+// promote it back with one sequential read.
+//
+// A store owns one directory of numbered segment files. Each segment
+// starts with a file header stamping the format version and the dataset
+// shape hash (a store refuses — and discards — segments written over a
+// different relation, so spill files from a dead daemon can never poison
+// a restart with stale partitions). Records are appended one per spilled
+// partition: a fixed header (attribute-set key, array lengths, the fused
+// entropy sum and the partition's recompute cost) followed by the raw
+// little-endian row-id and offset arrays, CRC-checksummed end to end. A
+// record is exactly the flat in-memory layout of a pli.Partition, so a
+// sealed segment can be mmapped and served as zero-copy views; the
+// active segment is served by pread until it seals.
+//
+// Durability is deliberately loose: nothing is fsynced on Put, and a
+// torn tail (daemon killed mid-spill) is detected by the bounds and
+// checksum validation and treated as a cache miss, never as an error —
+// the spill tier is a cost optimization, and every failure mode must
+// degrade to "recompute", not "corrupt" or "crash". Close persists an
+// index snapshot so the next Open restores the full index without
+// rescanning; the snapshot is consumed (deleted) at Open, so a crash
+// after it falls back to the segment scan.
+package spill
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Flat is the raw shape of a flat partition — the fields pli.Partition
+// stores, without the type (this package must not import pli: the cache
+// imports us). Rows and Offsets returned by Get may be zero-copy views
+// into a read-only mapping and must not be modified.
+type Flat struct {
+	NumRows int     // rows of the underlying relation
+	Rows    []int32 // concatenated cluster row ids
+	Offsets []int32 // cluster boundaries; len = clusters+1, or 0
+	Hsum    float64 // fused entropy sum Σ|c|·log2|c|
+	Cost    float64 // recompute cost the cache priced the partition at
+}
+
+// PayloadBytes is the on-disk weight of the record's arrays.
+func (f Flat) PayloadBytes() int64 { return 4 * int64(len(f.Rows)+len(f.Offsets)) }
+
+const (
+	fileMagic      = "MAIMSPL1"
+	formatVersion  = 1
+	fileHeaderSize = 32
+	recHeaderSize  = 48
+	recMagic       = 0x4C495053 // "SPIL"
+
+	defaultSegmentBytes = 8 << 20
+	minSegmentBytes     = 64 << 10
+
+	indexSnapshotName = "index.json"
+)
+
+// errTooLarge rejects a Put whose record alone exceeds the byte budget.
+var errTooLarge = errors.New("spill: record exceeds the spill byte budget")
+
+// errClosed rejects operations on a closed store.
+var errClosed = errors.New("spill: store is closed")
+
+// Config tunes Open.
+type Config struct {
+	// Dir is the spill directory; created if missing. One store (and one
+	// relation) per directory — the shape hash enforces it.
+	Dir string
+	// ShapeHash stamps every segment with the dataset's shape; segments
+	// carrying a different stamp are discarded at Open with a log line.
+	ShapeHash uint64
+	// MaxBytes bounds the store's on-disk footprint; past it the oldest
+	// sealed segments are deleted (their partitions become plain misses).
+	// <= 0 means unlimited.
+	MaxBytes int64
+	// SegmentBytes is the rotation threshold of the active segment; 0
+	// picks a default (8 MiB, shrunk to a quarter of MaxBytes when that
+	// is smaller, so a tight budget still gets eviction granularity).
+	SegmentBytes int64
+	// Logger receives the store's structured events (shape mismatches,
+	// torn tails, budget evictions). nil uses slog.Default.
+	Logger *slog.Logger
+}
+
+// recRef locates one record: its segment sequence number, the record's
+// offset in that file, and its payload weight.
+type recRef struct {
+	Seg     int64 `json:"seg"`
+	Off     int64 `json:"off"`
+	Payload int64 `json:"p"`
+}
+
+// segment is one on-disk file of the store. A sealed segment is
+// immutable and, when the platform allows, mmapped for zero-copy reads;
+// the active (last) segment grows by appends and is read by pread.
+type segment struct {
+	seq      int64
+	path     string
+	f        *os.File
+	size     int64
+	writable bool   // still accepting appends (the active segment)
+	data     []byte // read-only mapping when sealed and mmap succeeded
+}
+
+// Store is an append-only spill store. Safe for concurrent use.
+type Store struct {
+	cfg    Config
+	log    *slog.Logger
+	segMax int64
+
+	mu     sync.Mutex
+	segs   []*segment // ascending seq; the last one is active (may be nil)
+	index  map[uint64]recRef
+	bytes  int64 // file bytes across live segments
+	nextSeq int64
+	closed bool
+}
+
+// Open opens (or creates) the spill store under cfg.Dir. Existing
+// segments with the right shape stamp are re-opened — through the index
+// snapshot a clean shutdown left, or by scanning record headers after a
+// crash — so a restarted process starts with a warm spill index.
+// Segments stamped with a different shape hash are discarded with a
+// structured log line: a mismatched spill directory must never poison a
+// mine, so it degrades to an empty store.
+func Open(cfg Config) (*Store, error) {
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("spill: Config.Dir must not be empty")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: creating %s: %w", cfg.Dir, err)
+	}
+	segMax := cfg.SegmentBytes
+	if segMax <= 0 {
+		segMax = defaultSegmentBytes
+	}
+	if cfg.MaxBytes > 0 && segMax > cfg.MaxBytes/4 {
+		segMax = cfg.MaxBytes / 4
+	}
+	if segMax < minSegmentBytes {
+		segMax = minSegmentBytes
+	}
+	s := &Store{cfg: cfg, log: log, segMax: segMax, index: make(map[uint64]recRef), nextSeq: 1}
+	if err := s.reopen(); err != nil {
+		return nil, err
+	}
+	s.enforceBudgetLocked()
+	return s, nil
+}
+
+// segPath names segment seq under the store's directory.
+func (s *Store) segPath(seq int64) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("spill-%08d.seg", seq))
+}
+
+// reopen restores the store from an existing directory: snapshot first,
+// segment scan as the fallback. All recovered segments are sealed; the
+// next Put opens a fresh active segment.
+func (s *Store) reopen() error {
+	seqs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	snapPath := filepath.Join(s.cfg.Dir, indexSnapshotName)
+	snap, snapOK := s.loadSnapshot(snapPath, seqs)
+	// The snapshot is consumed: a process that dies after this point
+	// falls back to the scan, which trusts only what the checksums and
+	// bounds admit. Close writes a fresh one.
+	os.Remove(snapPath)
+	for _, seq := range seqs {
+		path := s.segPath(seq)
+		seg, err := s.openSealed(seq, path)
+		if err != nil {
+			s.log.Warn("spill: discarding unreadable segment", "dir", s.cfg.Dir, "segment", path, "error", err)
+			os.Remove(path)
+			continue
+		}
+		if seg == nil { // shape mismatch, already logged and removed
+			continue
+		}
+		s.segs = append(s.segs, seg)
+		s.bytes += seg.size
+		if seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+		if !snapOK {
+			s.scanSegment(seg)
+		}
+	}
+	if snapOK {
+		for k, ref := range snap {
+			if s.segment(ref.Seg) != nil {
+				s.index[k] = ref
+			}
+		}
+	}
+	return nil
+}
+
+// listSegments returns the sequence numbers of the directory's segment
+// files, ascending.
+func (s *Store) listSegments() ([]int64, error) {
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("spill: reading %s: %w", s.cfg.Dir, err)
+	}
+	var seqs []int64
+	for _, e := range ents {
+		var seq int64
+		if n, _ := fmt.Sscanf(e.Name(), "spill-%d.seg", &seq); n == 1 {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// indexSnapshot is the JSON shape Close persists.
+type indexSnapshot struct {
+	Version int               `json:"version"`
+	Shape   string            `json:"shape"`
+	Entries map[string]recRef `json:"entries"`
+}
+
+// loadSnapshot reads and validates the index snapshot; ok is false when
+// it is absent, malformed, or stamped with a different shape (the caller
+// then falls back to scanning the segments themselves).
+func (s *Store) loadSnapshot(path string, seqs []int64) (map[uint64]recRef, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var snap indexSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil || snap.Version != formatVersion {
+		s.log.Warn("spill: ignoring malformed index snapshot", "dir", s.cfg.Dir, "error", err)
+		return nil, false
+	}
+	if snap.Shape != fmt.Sprintf("%016x", s.cfg.ShapeHash) {
+		// The segment headers carry the same stamp, so openSealed will
+		// discard the files; the snapshot just goes first.
+		return nil, false
+	}
+	out := make(map[uint64]recRef, len(snap.Entries))
+	for k, ref := range snap.Entries {
+		var key uint64
+		if _, err := fmt.Sscanf(k, "%x", &key); err != nil {
+			return nil, false
+		}
+		out[key] = ref
+	}
+	return out, true
+}
+
+// openSealed opens one pre-existing segment as sealed: header validated,
+// mmapped when possible. Returns (nil, nil) after discarding a segment
+// whose shape stamp does not match the store's relation.
+func (s *Store) openSealed(seq int64, path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var hdr [fileHeaderSize]byte
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, fileHeaderSize), hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("short file header: %w", err)
+	}
+	if string(hdr[0:8]) != fileMagic || binary.LittleEndian.Uint32(hdr[8:12]) != formatVersion {
+		f.Close()
+		return nil, errors.New("bad segment magic or version")
+	}
+	if shape := binary.LittleEndian.Uint64(hdr[16:24]); shape != s.cfg.ShapeHash {
+		f.Close()
+		os.Remove(path)
+		s.log.Warn("spill: discarding segment from a different dataset shape",
+			"dir", s.cfg.Dir, "segment", path,
+			"segment_shape", fmt.Sprintf("%016x", shape),
+			"dataset_shape", fmt.Sprintf("%016x", s.cfg.ShapeHash))
+		return nil, nil
+	}
+	seg := &segment{seq: seq, path: path, f: f, size: st.Size()}
+	if data, err := mmapFile(f, seg.size); err == nil {
+		seg.data = data
+	}
+	return seg, nil
+}
+
+// scanSegment walks a sealed segment's records and indexes the valid
+// prefix: the first record whose header, bounds, or lengths do not hold
+// marks a torn tail (daemon killed mid-spill) — everything before it
+// stays served, everything after is ignored. Payload checksums are
+// verified lazily at Get, so the scan stays header-speed.
+func (s *Store) scanSegment(seg *segment) {
+	off := int64(fileHeaderSize)
+	for off+recHeaderSize <= seg.size {
+		var hdr [recHeaderSize]byte
+		if _, err := seg.readAt(hdr[:], off); err != nil {
+			break
+		}
+		key, numIDs, numOff, recLen, ok := parseRecHeader(hdr[:])
+		if !ok || off+recLen > seg.size {
+			s.log.Warn("spill: segment has a torn tail; serving the valid prefix",
+				"dir", s.cfg.Dir, "segment", seg.path, "valid_bytes", off, "file_bytes", seg.size)
+			seg.size = off
+			break
+		}
+		s.index[key] = recRef{Seg: seg.seq, Off: off, Payload: 4 * int64(numIDs+numOff)}
+		off += recLen
+	}
+}
+
+// parseRecHeader validates the fixed fields of one record header and
+// returns the key, array lengths and full (padded) record length.
+func parseRecHeader(hdr []byte) (key uint64, numIDs, numOff int, recLen int64, ok bool) {
+	if binary.LittleEndian.Uint32(hdr[0:4]) != recMagic {
+		return 0, 0, 0, 0, false
+	}
+	key = binary.LittleEndian.Uint64(hdr[8:16])
+	numIDs = int(binary.LittleEndian.Uint32(hdr[20:24]))
+	numOff = int(binary.LittleEndian.Uint32(hdr[24:28]))
+	recLen = int64(binary.LittleEndian.Uint32(hdr[28:32]))
+	if numIDs < 0 || numOff < 0 || recLen < recHeaderSize+4*int64(numIDs+numOff) {
+		return 0, 0, 0, 0, false
+	}
+	return key, numIDs, numOff, recLen, true
+}
+
+// segment returns the live segment with the given seq, or nil.
+func (s *Store) segment(seq int64) *segment {
+	for _, seg := range s.segs {
+		if seg.seq == seq {
+			return seg
+		}
+	}
+	return nil
+}
+
+// readAt reads from the segment — the mapping when sealed and mapped,
+// pread otherwise.
+func (g *segment) readAt(dst []byte, off int64) (int, error) {
+	if g.data != nil {
+		if off < 0 || off+int64(len(dst)) > int64(len(g.data)) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		return copy(dst, g.data[off:]), nil
+	}
+	return g.f.ReadAt(dst, off)
+}
+
+// Contains reports whether key has a valid index entry (the record's
+// checksum is still only verified at Get).
+func (s *Store) Contains(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes returns the store's on-disk footprint (live segment file bytes).
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Put appends one partition record and indexes it, rotating and
+// budget-evicting as needed. A failed Put leaves the store consistent
+// and the partition simply un-spilled (the caller drops it).
+func (s *Store) Put(key uint64, f Flat) error {
+	recLen := recordLen(f)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if s.cfg.MaxBytes > 0 && recLen+fileHeaderSize > s.cfg.MaxBytes {
+		return errTooLarge
+	}
+	seg, err := s.activeLocked(recLen)
+	if err != nil {
+		return err
+	}
+	off := seg.size
+	if err := writeRecord(seg.f, off, key, f, recLen); err != nil {
+		// The tail may be torn; freeze the segment at its last good byte
+		// so later appends cannot interleave with the partial record.
+		s.log.Warn("spill: write failed; sealing segment at its valid prefix",
+			"dir", s.cfg.Dir, "segment", seg.path, "error", err)
+		s.sealLocked(seg)
+		return err
+	}
+	seg.size += recLen
+	s.bytes += recLen
+	s.index[key] = recRef{Seg: seg.seq, Off: off, Payload: f.PayloadBytes()}
+	if seg.size >= s.segMax {
+		s.sealLocked(seg)
+	}
+	s.enforceBudgetLocked()
+	return nil
+}
+
+// activeLocked returns the active segment, creating one (with its file
+// header) if the store has none.
+func (s *Store) activeLocked(need int64) (*segment, error) {
+	if n := len(s.segs); n > 0 {
+		if seg := s.segs[n-1]; seg.writable && seg.f != nil {
+			return seg, nil
+		}
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	path := s.segPath(seq)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill: creating segment: %w", err)
+	}
+	var hdr [fileHeaderSize]byte
+	copy(hdr[0:8], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[16:24], s.cfg.ShapeHash)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("spill: writing segment header: %w", err)
+	}
+	seg := &segment{seq: seq, path: path, f: f, size: fileHeaderSize, writable: true}
+	s.segs = append(s.segs, seg)
+	s.bytes += fileHeaderSize
+	return seg, nil
+}
+
+// sealLocked freezes a segment: no more appends; mmap it for zero-copy
+// reads when the platform allows.
+func (s *Store) sealLocked(seg *segment) {
+	if seg.data != nil || seg.f == nil {
+		return
+	}
+	seg.writable = false
+	if data, err := mmapFile(seg.f, seg.size); err == nil {
+		seg.data = data
+	}
+}
+
+// enforceBudgetLocked deletes the oldest sealed segments until the store
+// fits MaxBytes. Their partitions become plain cache misses. Mappings of
+// deleted segments are deliberately never unmapped — promoted partitions
+// may still alias them — so the address space (not the disk) carries
+// them until process exit.
+func (s *Store) enforceBudgetLocked() {
+	if s.cfg.MaxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.cfg.MaxBytes && len(s.segs) > 1 {
+		victim := s.segs[0]
+		s.segs = s.segs[1:]
+		s.dropSegmentLocked(victim)
+	}
+}
+
+// dropSegmentLocked removes a segment's index entries, closes its file
+// handle, and unlinks it.
+func (s *Store) dropSegmentLocked(victim *segment) {
+	dropped := 0
+	for k, ref := range s.index {
+		if ref.Seg == victim.seq {
+			delete(s.index, k)
+			dropped++
+		}
+	}
+	s.bytes -= victim.size
+	if victim.f != nil {
+		victim.f.Close()
+		victim.f = nil
+	}
+	os.Remove(victim.path)
+	s.log.Debug("spill: dropped oldest segment for the byte budget",
+		"dir", s.cfg.Dir, "segment", victim.path, "records", dropped, "bytes", victim.size)
+}
+
+// Get reads the record for key back. ok is false on any miss — absent,
+// torn, checksum-failed, or closed — and a failed record is unindexed so
+// the next request goes straight to recompute. Rows/Offsets of a record
+// served from a sealed mapping are zero-copy views; active-segment reads
+// are copied out.
+func (s *Store) Get(key uint64) (Flat, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Flat{}, false
+	}
+	ref, ok := s.index[key]
+	if !ok {
+		return Flat{}, false
+	}
+	seg := s.segment(ref.Seg)
+	if seg == nil {
+		delete(s.index, key)
+		return Flat{}, false
+	}
+	f, err := readRecord(seg, ref.Off, key)
+	if err != nil {
+		delete(s.index, key)
+		s.log.Warn("spill: record failed validation; treating as a miss",
+			"dir", s.cfg.Dir, "segment", seg.path, "offset", ref.Off, "error", err)
+		return Flat{}, false
+	}
+	return f, true
+}
+
+// recordLen is the full appended length of a record: header + payload,
+// padded to 8 bytes so every record (and its int32 payload) stays
+// aligned in the mapping.
+func recordLen(f Flat) int64 {
+	n := recHeaderSize + f.PayloadBytes()
+	return (n + 7) &^ 7
+}
+
+// writeRecord serializes one record at off. The checksum covers the
+// header fields from the key on plus both arrays, so header tampering
+// and payload rot both surface at read time.
+func writeRecord(w io.WriterAt, off int64, key uint64, f Flat, recLen int64) error {
+	buf := make([]byte, recLen)
+	binary.LittleEndian.PutUint32(buf[0:4], recMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], key)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(f.NumRows))
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(len(f.Rows)))
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(len(f.Offsets)))
+	binary.LittleEndian.PutUint32(buf[28:32], uint32(recLen))
+	binary.LittleEndian.PutUint64(buf[32:40], math.Float64bits(f.Hsum))
+	binary.LittleEndian.PutUint64(buf[40:48], math.Float64bits(f.Cost))
+	encodeInt32s(buf[recHeaderSize:], f.Rows)
+	encodeInt32s(buf[recHeaderSize+4*len(f.Rows):], f.Offsets)
+	// The checksum stops before the alignment padding — the read side
+	// never sees the pad bytes.
+	crc := crc32.ChecksumIEEE(buf[8 : recHeaderSize+f.PayloadBytes()])
+	binary.LittleEndian.PutUint32(buf[4:8], crc)
+	_, err := w.WriteAt(buf, off)
+	return err
+}
+
+// readRecord reads and fully validates one record: magic, key match,
+// bounds, and the CRC over header fields + payload.
+func readRecord(seg *segment, off int64, wantKey uint64) (Flat, error) {
+	var hdr [recHeaderSize]byte
+	if _, err := seg.readAt(hdr[:], off); err != nil {
+		return Flat{}, fmt.Errorf("short header: %w", err)
+	}
+	key, numIDs, numOff, recLen, ok := parseRecHeader(hdr[:])
+	if !ok {
+		return Flat{}, errors.New("bad record header")
+	}
+	if key != wantKey {
+		return Flat{}, fmt.Errorf("record key %#x, want %#x", key, wantKey)
+	}
+	if off+recLen > seg.size {
+		return Flat{}, errors.New("record extends past the segment's valid bytes")
+	}
+	f := Flat{
+		NumRows: int(binary.LittleEndian.Uint32(hdr[16:20])),
+		Hsum:    math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:40])),
+		Cost:    math.Float64frombits(binary.LittleEndian.Uint64(hdr[40:48])),
+	}
+	payloadLen := 4 * (numIDs + numOff)
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	crc := crc32.ChecksumIEEE(hdr[8:])
+	if seg.data != nil {
+		// Sealed + mapped: checksum the mapped payload, then hand out
+		// zero-copy views.
+		payload := seg.data[off+recHeaderSize : off+recHeaderSize+int64(payloadLen)]
+		if crc32.Update(crc, crc32.IEEETable, payload) != wantCRC {
+			return Flat{}, errors.New("checksum mismatch")
+		}
+		f.Rows = decodeInt32sView(payload[:4*numIDs])
+		f.Offsets = decodeInt32sView(payload[4*numIDs:])
+		return f, nil
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := seg.readAt(payload, off+recHeaderSize); err != nil {
+		return Flat{}, fmt.Errorf("short payload: %w", err)
+	}
+	if crc32.Update(crc, crc32.IEEETable, payload) != wantCRC {
+		return Flat{}, errors.New("checksum mismatch")
+	}
+	f.Rows = decodeInt32sCopy(payload[:4*numIDs])
+	f.Offsets = decodeInt32sCopy(payload[4*numIDs:])
+	return f, nil
+}
+
+// Close seals the active segment, persists the index snapshot, and
+// closes the file handles. Mappings stay alive — promoted partitions may
+// still reference them — so Close must only run once reads against
+// already-promoted partitions can no longer start new spill reads.
+// Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	snap := indexSnapshot{
+		Version: formatVersion,
+		Shape:   fmt.Sprintf("%016x", s.cfg.ShapeHash),
+		Entries: make(map[string]recRef, len(s.index)),
+	}
+	for k, ref := range s.index {
+		snap.Entries[fmt.Sprintf("%x", k)] = ref
+	}
+	var firstErr error
+	data, err := json.Marshal(snap)
+	if err == nil {
+		tmp := filepath.Join(s.cfg.Dir, indexSnapshotName+".tmp")
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			firstErr = err
+		} else if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, indexSnapshotName)); err != nil {
+			firstErr = err
+		}
+	} else {
+		firstErr = err
+	}
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			if err := seg.f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			seg.f.Close()
+			seg.f = nil
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,329 @@
+package spill
+
+import (
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.NewFile(0, os.DevNull), &slog.HandlerOptions{Level: slog.LevelError + 4}))
+}
+
+func testFlat(seed int32, rows, clusters int) Flat {
+	f := Flat{NumRows: rows, Hsum: float64(seed) * 1.5, Cost: float64(seed) * 7}
+	for i := 0; i < rows; i++ {
+		f.Rows = append(f.Rows, seed+int32(i))
+	}
+	for i := 0; i <= clusters; i++ {
+		f.Offsets = append(f.Offsets, int32(i*rows/max(clusters, 1)))
+	}
+	return f
+}
+
+func flatEqual(a, b Flat) bool {
+	if a.NumRows != b.NumRows || a.Hsum != b.Hsum || a.Cost != b.Cost ||
+		len(a.Rows) != len(b.Rows) || len(a.Offsets) != len(b.Offsets) {
+		return false
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			return false
+		}
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func openTest(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir, ShapeHash: 42})
+	want := map[uint64]Flat{}
+	for k := uint64(1); k <= 20; k++ {
+		f := testFlat(int32(k*13), 50+int(k), int(k%7)+1)
+		want[k] = f
+		if err := s.Put(k, f); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	for k, w := range want {
+		got, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("Get(%d): miss", k)
+		}
+		if !flatEqual(got, w) {
+			t.Fatalf("Get(%d): round-trip mismatch", k)
+		}
+	}
+	if _, ok := s.Get(999); ok {
+		t.Fatal("Get of an absent key claimed a hit")
+	}
+	if !s.Contains(7) || s.Contains(999) {
+		t.Fatal("Contains disagrees with the index")
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("Get after Close must miss")
+	}
+}
+
+// TestSpillReput verifies a re-demoted key overrides its older record.
+func TestSpillReput(t *testing.T) {
+	s := openTest(t, Config{Dir: t.TempDir(), ShapeHash: 1})
+	old := testFlat(3, 10, 2)
+	if err := s.Put(5, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testFlat(9, 30, 4)
+	if err := s.Put(5, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(5)
+	if !ok || !flatEqual(got, fresh) {
+		t.Fatal("Get returned the stale record after a re-Put")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after re-Put, want 1", s.Len())
+	}
+}
+
+// TestSpillWarmReopen closes a store cleanly and reopens it: the index
+// snapshot must restore every record without a scan, and the reopened
+// (sealed, possibly mmapped) segments must serve identical bytes.
+func TestSpillWarmReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir, ShapeHash: 77})
+	want := map[uint64]Flat{}
+	for k := uint64(1); k <= 10; k++ {
+		f := testFlat(int32(k), 40, 3)
+		want[k] = f
+		if err := s.Put(k, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, indexSnapshotName)); err != nil {
+		t.Fatalf("Close did not persist the index snapshot: %v", err)
+	}
+
+	s2 := openTest(t, Config{Dir: dir, ShapeHash: 77})
+	defer s2.Close()
+	if _, err := os.Stat(filepath.Join(dir, indexSnapshotName)); !os.IsNotExist(err) {
+		t.Fatal("Open must consume (delete) the index snapshot")
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(want))
+	}
+	for k, w := range want {
+		got, ok := s2.Get(k)
+		if !ok || !flatEqual(got, w) {
+			t.Fatalf("Get(%d) after warm reopen: mismatch (hit=%v)", k, ok)
+		}
+	}
+}
+
+// TestSpillCrashReopen reopens without a snapshot (simulated crash):
+// the segment scan must rebuild the index from record headers.
+func TestSpillCrashReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir, ShapeHash: 5})
+	want := map[uint64]Flat{}
+	for k := uint64(1); k <= 8; k++ {
+		f := testFlat(int32(k*3), 25, 2)
+		want[k] = f
+		if err := s.Put(k, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, indexSnapshotName)) // the "crash"
+
+	s2 := openTest(t, Config{Dir: dir, ShapeHash: 5})
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("scanned Len = %d, want %d", s2.Len(), len(want))
+	}
+	for k, w := range want {
+		got, ok := s2.Get(k)
+		if !ok || !flatEqual(got, w) {
+			t.Fatalf("Get(%d) after crash reopen: mismatch (hit=%v)", k, ok)
+		}
+	}
+}
+
+// TestSpillCrashMidSpillTruncated cuts a segment mid-record (the shape a
+// kill during Put leaves) and verifies the reopened store serves the
+// valid prefix and treats the torn record as a miss — never an error.
+func TestSpillCrashMidSpillTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir, ShapeHash: 5})
+	keep := testFlat(1, 30, 3)
+	if err := s.Put(1, keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, testFlat(2, 40, 4)); err != nil {
+		t.Fatal(err)
+	}
+	seg := s.segs[len(s.segs)-1]
+	torn := s.index[2]
+	s.Close()
+	os.Remove(filepath.Join(dir, indexSnapshotName))
+	// Chop the file inside record 2's payload.
+	if err := os.Truncate(seg.path, torn.Off+recHeaderSize+4); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, Config{Dir: dir, ShapeHash: 5})
+	defer s2.Close()
+	if got, ok := s2.Get(1); !ok || !flatEqual(got, keep) {
+		t.Fatal("record before the torn tail must still be served")
+	}
+	if _, ok := s2.Get(2); ok {
+		t.Fatal("the torn record must be a miss")
+	}
+}
+
+// TestSpillCorruptPayloadIsMiss flips a payload byte in place: the CRC
+// check at Get must reject the record and unindex it.
+func TestSpillCorruptPayloadIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir, ShapeHash: 5})
+	if err := s.Put(1, testFlat(1, 30, 3)); err != nil {
+		t.Fatal(err)
+	}
+	seg := s.segs[len(s.segs)-1]
+	ref := s.index[1]
+	f, err := os.OpenFile(seg.path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, ref.Off+recHeaderSize+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, ok := s.Get(1); ok {
+		t.Fatal("corrupted payload must fail the checksum and miss")
+	}
+	if s.Contains(1) {
+		t.Fatal("a failed record must be unindexed")
+	}
+	s.Close()
+}
+
+// TestSpillShapeMismatchDiscards reopens a directory under a different
+// shape hash: the store must discard the stale segments (and snapshot)
+// and start empty instead of erroring or serving foreign partitions.
+func TestSpillShapeMismatchDiscards(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir, ShapeHash: 100})
+	if err := s.Put(1, testFlat(1, 20, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTest(t, Config{Dir: dir, ShapeHash: 200})
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("mismatched store must start empty, Len = %d", s2.Len())
+	}
+	if _, ok := s2.Get(1); ok {
+		t.Fatal("a foreign-shape record must never be served")
+	}
+	segs, err := s2.listSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("mismatched segments must be deleted, %d remain", len(segs))
+	}
+	// The new shape writes fresh segments into the same directory.
+	if err := s2.Put(9, testFlat(9, 15, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(9); !ok {
+		t.Fatal("fresh Put after a discard must be served")
+	}
+}
+
+// TestSpillBudgetEvictsOldest drives many Puts through a tiny byte
+// budget: segments must rotate and the oldest be deleted, keeping the
+// footprint bounded while the newest records stay readable.
+func TestSpillBudgetEvictsOldest(t *testing.T) {
+	budget := int64(256 << 10)
+	s := openTest(t, Config{Dir: t.TempDir(), ShapeHash: 3, MaxBytes: budget})
+	last := uint64(0)
+	for k := uint64(1); k <= 400; k++ {
+		if err := s.Put(k, testFlat(int32(k), 500, 16)); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+		last = k
+	}
+	defer s.Close()
+	if got := s.Bytes(); got > budget {
+		t.Fatalf("footprint %d exceeds the %d budget", got, budget)
+	}
+	if s.Len() >= 400 {
+		t.Fatal("budget eviction dropped nothing")
+	}
+	if _, ok := s.Get(last); !ok {
+		t.Fatal("the newest record must survive budget eviction")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("the oldest record should have been evicted")
+	}
+	// A single record larger than the whole budget is rejected, not
+	// written-then-evicted.
+	if err := s.Put(9999, testFlat(1, 200000, 8)); err == nil {
+		t.Fatal("an over-budget record must be rejected")
+	}
+}
+
+// TestSpillRotationKeepsAllReadable seals several segments (no budget)
+// and checks records from sealed and active segments alike are served.
+func TestSpillRotationKeepsAllReadable(t *testing.T) {
+	s := openTest(t, Config{Dir: t.TempDir(), ShapeHash: 3, SegmentBytes: minSegmentBytes})
+	want := map[uint64]Flat{}
+	for k := uint64(1); k <= 120; k++ {
+		f := testFlat(int32(k), 300, 10)
+		want[k] = f
+		if err := s.Put(k, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer s.Close()
+	if len(s.segs) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", len(s.segs))
+	}
+	for k, w := range want {
+		got, ok := s.Get(k)
+		if !ok || !flatEqual(got, w) {
+			t.Fatalf("Get(%d) across rotation: mismatch (hit=%v)", k, ok)
+		}
+	}
+}

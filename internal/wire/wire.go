@@ -140,6 +140,14 @@ type MemoryStatus struct {
 	// inside the service's -entropy-bytes budget.
 	MemoBytes     int64 `json:"memo_bytes"`
 	MemoEvictions int   `json:"memo_evictions"`
+	// The spill tier under the PLI cache (-spill-dir): its on-disk
+	// footprint, the requests served by promoting a spilled partition
+	// instead of recomputing it, and the evictions that demoted to disk
+	// instead of dropping. evictions above remains the demote+drop total,
+	// so pre-spill dashboards keep reading the same number.
+	SpillBytes     int64 `json:"spill_bytes"`
+	SpillHits      int   `json:"spill_hits"`
+	SpillDemotions int   `json:"spill_demotions"`
 }
 
 // DistStatus is the distributed-execution view of a job running on a

@@ -173,6 +173,29 @@ func WithEvictionPolicy(p EvictionPolicy) Option {
 	return func(c *config) { c.pliCfg.Policy = p }
 }
 
+// WithSpillDir enables the PLI cache's disk spill tier under dir:
+// evictions demote partitions whose rebuild cascade would scan more
+// bytes than a disk read costs into an append-only segment store there,
+// and later misses promote them back with one checksummed sequential
+// read instead of recomputing. Segments are stamped with the relation's
+// shape hash, so a directory left by a previous process over the same
+// data starts the session warm, while one from different data is
+// discarded with a log line. Like every budget knob this changes cost,
+// never results — mining output is byte-identical to spill-off. Honored
+// by Open only; call Session.Close to persist the spill index for the
+// next warm start. "" (the default) disables the tier.
+func WithSpillDir(dir string) Option {
+	return func(c *config) { c.pliCfg.SpillDir = dir }
+}
+
+// WithSpillBudget bounds the spill tier's on-disk footprint; past it the
+// oldest spill segments are deleted and their partitions become plain
+// misses again. bytes <= 0 means unlimited (the default). Only
+// meaningful with WithSpillDir; honored by Open only.
+func WithSpillBudget(bytes int64) Option {
+	return func(c *config) { c.pliCfg.SpillMaxBytes = bytes }
+}
+
 // WithEntropyBudget bounds the bytes the session's entropy memo retains.
 // The memo caches one 8-byte entropy per distinct attribute set ever
 // evaluated; across long ε sweeps over wide relations it becomes the
@@ -288,6 +311,13 @@ func open(r *Relation, shared bool, opts []Option) (*Session, error) {
 
 // Relation returns the relation the session mines.
 func (s *Session) Relation() *Relation { return s.rel }
+
+// Close releases the session's disk spill tier, if WithSpillDir enabled
+// one: the spill index is persisted so the next session over the same
+// directory and relation starts warm. In-memory mining state is
+// unaffected — a closed session can keep mining, it just stops spilling.
+// A session without a spill tier has nothing to close. Idempotent.
+func (s *Session) Close() error { return s.oracle.Close() }
 
 // Stats snapshots the session's entropy-oracle counters. The delta across
 // two mines measures what the second one actually cost; HCached growing
